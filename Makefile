@@ -1,0 +1,42 @@
+# Convenience targets for the temporalir repository.
+
+GO ?= go
+
+.PHONY: all build test vet bench race fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzIterator -fuzztime=30s ./internal/compress/
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/textutil/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/archive
+	$(GO) run ./examples/sessions
+	$(GO) run ./examples/baskets
+	$(GO) run ./examples/ranked
+
+# Reproduce every paper artifact at laptop scale into results/.
+experiments:
+	$(GO) build -o bin/irbench ./cmd/irbench
+	mkdir -p results
+	bin/irbench -exp all -scale 0.02 -queries 500 | tee results/all.txt
+
+clean:
+	rm -rf bin

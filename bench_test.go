@@ -1,0 +1,112 @@
+// Benchmarks regenerating the paper's evaluation artifacts.
+//
+// Two layers:
+//
+//   - Benchmark<Method>/... micro-benchmarks: per-index query cost on the
+//     ECLOG stand-in under the paper's default workload (0.1% extent,
+//     |q.d| = 3). These are the per-cell numbers behind Figure 11;
+//     1/ns-per-op is the throughput the figures plot.
+//   - BenchmarkFig*/BenchmarkTable* experiment benchmarks: each runs the
+//     corresponding internal/bench driver end-to-end at a laptop scale
+//     (build + sweep + measure), so `go test -bench=.` reproduces every
+//     table and figure. Full-scale runs go through cmd/irbench -scale 1.
+package temporalir_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	temporalir "repro"
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// benchScale keeps `go test -bench=.` minutes-sized; cmd/irbench scales up.
+const benchScale = 0.005
+
+var setupOnce sync.Once
+var benchColl *model.Collection
+var benchQueries []model.Query
+var benchIndices map[temporalir.Method]temporalir.Index
+
+func setup() {
+	setupOnce.Do(func() {
+		benchColl = gen.ECLOGLike(gen.RealConfig{Scale: benchScale, Seed: 7})
+		benchQueries = gen.Workload(benchColl, gen.DefaultQueryConfig(), 512, 11)
+		benchIndices = make(map[temporalir.Method]temporalir.Index)
+		for _, m := range append(temporalir.Methods(), temporalir.TIF) {
+			ix, err := temporalir.NewIndex(m, benchColl, temporalir.Options{})
+			if err != nil {
+				panic(err)
+			}
+			benchIndices[m] = ix
+		}
+	})
+}
+
+func benchQuery(b *testing.B, m temporalir.Method) {
+	setup()
+	ix := benchIndices[m]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Query(benchQueries[i%len(benchQueries)])
+	}
+}
+
+func BenchmarkQueryTIF(b *testing.B)            { benchQuery(b, temporalir.TIF) }
+func BenchmarkQueryTIFSlicing(b *testing.B)     { benchQuery(b, temporalir.TIFSlicing) }
+func BenchmarkQueryTIFSharding(b *testing.B)    { benchQuery(b, temporalir.TIFSharding) }
+func BenchmarkQueryTIFHintBinary(b *testing.B)  { benchQuery(b, temporalir.TIFHintBinary) }
+func BenchmarkQueryTIFHintMerge(b *testing.B)   { benchQuery(b, temporalir.TIFHintMerge) }
+func BenchmarkQueryTIFHintSlicing(b *testing.B) { benchQuery(b, temporalir.TIFHintSlicing) }
+func BenchmarkQueryIRHintPerf(b *testing.B)     { benchQuery(b, temporalir.IRHintPerf) }
+func BenchmarkQueryIRHintSize(b *testing.B)     { benchQuery(b, temporalir.IRHintSize) }
+
+// Build-cost micro-benchmarks (the Table 5 "time" column per iteration).
+func benchBuild(b *testing.B, m temporalir.Method) {
+	setup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := temporalir.NewIndex(m, benchColl, temporalir.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ix.Len()
+	}
+}
+
+func BenchmarkBuildTIFSlicing(b *testing.B)   { benchBuild(b, temporalir.TIFSlicing) }
+func BenchmarkBuildTIFSharding(b *testing.B)  { benchBuild(b, temporalir.TIFSharding) }
+func BenchmarkBuildTIFHintMerge(b *testing.B) { benchBuild(b, temporalir.TIFHintMerge) }
+func BenchmarkBuildIRHintPerf(b *testing.B)   { benchBuild(b, temporalir.IRHintPerf) }
+func BenchmarkBuildIRHintSize(b *testing.B)   { benchBuild(b, temporalir.IRHintSize) }
+
+// Experiment benchmarks: one full driver run per iteration.
+func benchExperiment(b *testing.B, name string, scale float64, queries int) {
+	exp, ok := bench.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	cfg := bench.Config{Scale: scale, NumQueries: queries, Seed: 3, Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Run(cfg)
+	}
+}
+
+func BenchmarkTable3Stats(b *testing.B)       { benchExperiment(b, "table3", benchScale, 64) }
+func BenchmarkFig8SlicingTuning(b *testing.B) { benchExperiment(b, "fig8", 0.002, 64) }
+func BenchmarkFig9HintTuning(b *testing.B)    { benchExperiment(b, "fig9", 0.002, 64) }
+func BenchmarkFig10TifHintVariants(b *testing.B) {
+	benchExperiment(b, "fig10", 0.002, 64)
+}
+func BenchmarkTable5IndexingCosts(b *testing.B) { benchExperiment(b, "table5", 0.002, 64) }
+func BenchmarkFig11RealData(b *testing.B)       { benchExperiment(b, "fig11", 0.002, 64) }
+func BenchmarkFig12Synthetic(b *testing.B)      { benchExperiment(b, "fig12", 0.001, 32) }
+func BenchmarkTable6Insertions(b *testing.B)    { benchExperiment(b, "table6", 0.002, 32) }
+func BenchmarkTable7Deletions(b *testing.B)     { benchExperiment(b, "table7", 0.002, 32) }
+func BenchmarkAblations(b *testing.B)           { benchExperiment(b, "ablation", 0.002, 64) }

@@ -1,0 +1,79 @@
+// Command irserve runs the HTTP search service over a dataset: load a
+// .tirc file (or start empty), build the chosen index and serve the JSON
+// API of internal/server:
+//
+//	irserve -data archive.tirc -index irhint/perf -addr :8080
+//
+//	GET    /search?start=S&end=E&q=free+text[&k=K]
+//	POST   /objects            {"start":S,"end":E,"terms":["..."]}
+//	GET    /objects/{id}
+//	DELETE /objects/{id}
+//	GET    /stats
+//
+// Datasets loaded from .tirc files carry element ids, not strings; their
+// terms surface as "e<ID>" placeholders. For a string-term corpus, start
+// empty and POST documents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	temporalir "repro"
+	"repro/internal/encoding"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "", "optional .tirc dataset to preload")
+		index = flag.String("index", string(temporalir.IRHintPerf), "index method")
+		addr  = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	b := temporalir.NewBuilder()
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irserve: %v\n", err)
+			os.Exit(1)
+		}
+		coll, err := encoding.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irserve: reading %s: %v\n", *data, err)
+			os.Exit(1)
+		}
+		for i := range coll.Objects {
+			o := &coll.Objects[i]
+			terms := make([]string, len(o.Elems))
+			for k, e := range o.Elems {
+				terms[k] = fmt.Sprintf("e%d", e)
+			}
+			b.Add(o.Interval.Start, o.Interval.End, terms...)
+		}
+	}
+
+	start := time.Now()
+	engine, err := b.Build(temporalir.Method(*index), temporalir.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irserve: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("irserve: %d objects, %s built in %.2fs, listening on %s\n",
+		engine.Len(), *index, time.Since(start).Seconds(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "irserve: %v\n", err)
+		os.Exit(1)
+	}
+}

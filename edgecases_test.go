@@ -1,0 +1,151 @@
+package temporalir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	temporalir "repro"
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+// allMethods includes the plain tIF alongside the benchmarked family.
+func allMethods() []temporalir.Method {
+	return append(temporalir.Methods(), temporalir.TIF)
+}
+
+func checkAll(t *testing.T, c *temporalir.Collection, queries []temporalir.Query) {
+	t.Helper()
+	oracle := bruteforce.New(c)
+	for _, m := range allMethods() {
+		ix, err := temporalir.NewIndex(m, c, temporalir.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for i, q := range queries {
+			got := testutil.Canonical(ix.Query(q))
+			want := testutil.Canonical(oracle.Query(q))
+			if !model.EqualIDs(got, want) {
+				t.Fatalf("%s query %d (%v, %v): got %v, want %v",
+					m, i, q.Interval, q.Elems, got, want)
+			}
+		}
+	}
+}
+
+func TestNegativeTimestamps(t *testing.T) {
+	var c temporalir.Collection
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := temporalir.Timestamp(rng.Int63n(20000)) - 10000
+		e := s + temporalir.Timestamp(rng.Int63n(3000))
+		c.AppendObject(temporalir.Interval{Start: s, End: e},
+			[]temporalir.ElemID{temporalir.ElemID(rng.Intn(8)), temporalir.ElemID(rng.Intn(8))})
+	}
+	var queries []temporalir.Query
+	for i := 0; i < 120; i++ {
+		s := temporalir.Timestamp(rng.Int63n(24000)) - 12000
+		e := s + temporalir.Timestamp(rng.Int63n(6000))
+		queries = append(queries, temporalir.Query{
+			Interval: temporalir.Interval{Start: s, End: e},
+			Elems:    []temporalir.ElemID{temporalir.ElemID(rng.Intn(8))},
+		})
+	}
+	checkAll(t, &c, queries)
+}
+
+func TestIdenticalIntervals(t *testing.T) {
+	// Every object shares one lifespan: partition routing degenerates to
+	// a single chain; only the element predicate differentiates.
+	var c temporalir.Collection
+	for i := 0; i < 60; i++ {
+		c.AppendObject(temporalir.Interval{Start: 100, End: 200},
+			[]temporalir.ElemID{temporalir.ElemID(i % 5), temporalir.ElemID(i % 3)})
+	}
+	queries := []temporalir.Query{
+		{Interval: temporalir.Interval{Start: 150, End: 160}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 0, End: 99}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 200, End: 300}, Elems: []temporalir.ElemID{1, 2}},
+		{Interval: temporalir.Interval{Start: 100, End: 100}, Elems: []temporalir.ElemID{0, 1, 2}},
+	}
+	checkAll(t, &c, queries)
+}
+
+func TestSingleObjectCollection(t *testing.T) {
+	var c temporalir.Collection
+	c.AppendObject(temporalir.Interval{Start: 5, End: 5}, []temporalir.ElemID{0})
+	queries := []temporalir.Query{
+		{Interval: temporalir.Interval{Start: 5, End: 5}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 4, End: 4}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 6, End: 6}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 0, End: 10}, Elems: []temporalir.ElemID{1}},
+	}
+	checkAll(t, &c, queries)
+}
+
+func TestPointDomain(t *testing.T) {
+	// Every object is the same time point: the domain has a single cell.
+	var c temporalir.Collection
+	for i := 0; i < 20; i++ {
+		c.AppendObject(temporalir.Interval{Start: 42, End: 42},
+			[]temporalir.ElemID{temporalir.ElemID(i % 4)})
+	}
+	queries := []temporalir.Query{
+		{Interval: temporalir.Interval{Start: 42, End: 42}, Elems: []temporalir.ElemID{0}},
+		{Interval: temporalir.Interval{Start: 41, End: 43}, Elems: []temporalir.ElemID{1}},
+		{Interval: temporalir.Interval{Start: 0, End: 41}, Elems: []temporalir.ElemID{2}},
+	}
+	checkAll(t, &c, queries)
+}
+
+func TestHugeTimestamps(t *testing.T) {
+	// Nanosecond-epoch-sized values exercise the discretization's 64-bit
+	// arithmetic.
+	base := temporalir.Timestamp(1_700_000_000_000_000_000)
+	var c temporalir.Collection
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 150; i++ {
+		s := base + temporalir.Timestamp(rng.Int63n(1_000_000_000_000))
+		e := s + temporalir.Timestamp(rng.Int63n(10_000_000_000))
+		c.AppendObject(temporalir.Interval{Start: s, End: e},
+			[]temporalir.ElemID{temporalir.ElemID(rng.Intn(6))})
+	}
+	var queries []temporalir.Query
+	for i := 0; i < 80; i++ {
+		s := base + temporalir.Timestamp(rng.Int63n(1_000_000_000_000))
+		e := s + temporalir.Timestamp(rng.Int63n(50_000_000_000))
+		queries = append(queries, temporalir.Query{
+			Interval: temporalir.Interval{Start: s, End: e},
+			Elems:    []temporalir.ElemID{temporalir.ElemID(rng.Intn(6))},
+		})
+	}
+	checkAll(t, &c, queries)
+}
+
+func TestRealStandInEquivalence(t *testing.T) {
+	// The ECLOG-like shape (long durations, zipf elements, big sparse
+	// dictionary) against the oracle for every method.
+	c := gen.ECLOGLike(gen.RealConfig{Scale: 0.001, Seed: 7})
+	queries := gen.Workload(c, gen.DefaultQueryConfig(), 60, 8)
+	queries = append(queries, gen.MixedPool(c, 60, 9)...)
+	checkAll(t, c, queries)
+}
+
+func TestDuplicateElementsInQuery(t *testing.T) {
+	var c temporalir.Collection
+	c.AppendObject(temporalir.Interval{Start: 0, End: 10}, []temporalir.ElemID{0, 1})
+	q := temporalir.Query{
+		Interval: temporalir.Interval{Start: 5, End: 6},
+		// Deliberately unnormalized: duplicate elements.
+		Elems: []temporalir.ElemID{0, 0, 1, 1},
+	}
+	for _, m := range allMethods() {
+		ix, _ := temporalir.NewIndex(m, &c, temporalir.Options{})
+		got := ix.Query(q)
+		if len(testutil.Canonical(got)) != 1 {
+			t.Errorf("%s: duplicate query elements broke the plan: %v", m, got)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package temporalir
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/dict"
+	"repro/internal/model"
+	"repro/internal/rank"
+)
+
+// Builder accumulates objects described by string terms, interning them
+// into the global dictionary, and finally constructs an Engine around any
+// index method. It is the convenience layer the examples use; performance
+// code can work with Collection and ElemIDs directly.
+type Builder struct {
+	dict *dict.Dictionary
+	coll Collection
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{dict: dict.New()}
+}
+
+// Add records one object: a lifespan and its descriptive terms. Terms are
+// deduplicated; the assigned ObjectID is returned. It panics if
+// start > end, matching NewInterval.
+func (b *Builder) Add(start, end Timestamp, terms ...string) ObjectID {
+	elems := b.dict.AddObject(terms)
+	iv := NewInterval(start, end)
+	id := ObjectID(len(b.coll.Objects))
+	b.coll.Objects = append(b.coll.Objects, Object{ID: id, Interval: iv, Elems: elems})
+	if b.dict.Len() > b.coll.DictSize {
+		b.coll.DictSize = b.dict.Len()
+	}
+	return id
+}
+
+// Len returns the number of objects added so far.
+func (b *Builder) Len() int { return b.coll.Len() }
+
+// Build constructs an Engine over the accumulated objects.
+func (b *Builder) Build(m Method, opts Options) (*Engine, error) {
+	ix, err := NewIndex(m, &b.coll, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{dict: b.dict, coll: &b.coll, index: ix, method: m, deleted: map[ObjectID]bool{}}, nil
+}
+
+// Engine pairs an index with the dictionary and object store, exposing a
+// string-term search surface.
+type Engine struct {
+	dict    *dict.Dictionary
+	coll    *Collection
+	index   Index
+	method  Method
+	scorer  *rank.Scorer
+	deleted map[ObjectID]bool
+}
+
+// Method returns the index implementation in use.
+func (e *Engine) Method() Method { return e.method }
+
+// Index exposes the underlying index for advanced use.
+func (e *Engine) Index() Index { return e.index }
+
+// Len returns the number of live objects.
+func (e *Engine) Len() int { return e.index.Len() }
+
+// SizeBytes estimates the index's resident size.
+func (e *Engine) SizeBytes() int64 { return e.index.SizeBytes() }
+
+// Search runs a time-travel IR query: objects overlapping [start, end]
+// whose description contains every term. Unknown terms make the result
+// empty (the conjunction cannot be satisfied). Results are in ascending
+// id order.
+func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
+	elems := make([]ElemID, 0, len(terms))
+	for _, t := range terms {
+		id, ok := e.dict.Lookup(t)
+		if !ok {
+			return nil
+		}
+		elems = append(elems, id)
+	}
+	ids := e.index.Query(Query{
+		Interval: model.Canon(start, end),
+		Elems:    model.NormalizeElems(elems),
+	})
+	SortIDs(ids)
+	return ids
+}
+
+// SearchAny runs the disjunctive counterpart of Search: objects alive in
+// [start, end] containing at least one of the terms. Unknown terms are
+// ignored (they cannot contribute matches).
+func (e *Engine) SearchAny(start, end Timestamp, terms ...string) []ObjectID {
+	elems := make([]ElemID, 0, len(terms))
+	for _, t := range terms {
+		if id, ok := e.dict.Lookup(t); ok {
+			elems = append(elems, id)
+		}
+	}
+	if len(elems) == 0 {
+		return nil
+	}
+	return QueryAny(e.index, Query{
+		Interval: model.Canon(start, end),
+		Elems:    model.NormalizeElems(elems),
+	})
+}
+
+// Object returns the lifespan and terms of an object.
+func (e *Engine) Object(id ObjectID) (Interval, []string, error) {
+	if int(id) >= len(e.coll.Objects) {
+		return Interval{}, nil, fmt.Errorf("temporalir: unknown object %d", id)
+	}
+	o := &e.coll.Objects[id]
+	terms := make([]string, len(o.Elems))
+	for i, el := range o.Elems {
+		terms[i] = e.dict.Term(el)
+	}
+	return o.Interval, terms, nil
+}
+
+// Insert adds a new object to both the store and the index, returning its
+// id.
+func (e *Engine) Insert(start, end Timestamp, terms ...string) ObjectID {
+	elems := e.dict.AddObject(terms)
+	iv := NewInterval(start, end)
+	id := ObjectID(len(e.coll.Objects))
+	o := Object{ID: id, Interval: iv, Elems: elems}
+	e.coll.Objects = append(e.coll.Objects, o)
+	if e.dict.Len() > e.coll.DictSize {
+		e.coll.DictSize = e.dict.Len()
+	}
+	e.index.Insert(o)
+	return id
+}
+
+// ScoredResult is one ranked hit of SearchTopK.
+type ScoredResult struct {
+	ID    ObjectID
+	Score float64
+}
+
+// SearchTopK runs a relevance-ranked time-travel query: among the objects
+// matching the containment query, return the k most relevant, scored by
+// element rarity (IDF) blended with temporal overlap — the ranked-search
+// extension the paper leaves as future work. IDF weights snapshot the
+// collection at the first ranked search; call RefreshScorer after bulk
+// updates to re-weigh.
+func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []ScoredResult {
+	elems := make([]ElemID, 0, len(terms))
+	for _, t := range terms {
+		id, ok := e.dict.Lookup(t)
+		if !ok {
+			return nil
+		}
+		elems = append(elems, id)
+	}
+	if e.scorer == nil {
+		e.RefreshScorer()
+	}
+	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
+	results := rank.TopK(e.index, e.coll, e.scorer, q, k)
+	out := make([]ScoredResult, len(results))
+	for i, r := range results {
+		out[i] = ScoredResult{ID: r.ID, Score: r.Score}
+	}
+	return out
+}
+
+// RefreshScorer recomputes the IDF weights used by SearchTopK from the
+// current collection contents.
+func (e *Engine) RefreshScorer() {
+	e.scorer = rank.NewScorer(e.coll, rank.ScorerConfig{})
+}
+
+// TimelineBucket is one row of Timeline's temporal histogram.
+type TimelineBucket struct {
+	Start Timestamp
+	End   Timestamp
+	Count int   // matching objects alive in this bucket
+	Mass  int64 // matched lifespan time units falling in this bucket
+}
+
+// Timeline aggregates a time-travel IR query over time: the interval
+// [start, end] is split into the requested number of buckets and each
+// reports how many matching objects were alive in it (and for how long) —
+// "how did interest in these terms evolve across the period".
+func (e *Engine) Timeline(start, end Timestamp, buckets int, terms ...string) []TimelineBucket {
+	elems := make([]ElemID, 0, len(terms))
+	for _, t := range terms {
+		id, ok := e.dict.Lookup(t)
+		if !ok {
+			return nil
+		}
+		elems = append(elems, id)
+	}
+	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
+	out := make([]TimelineBucket, 0, buckets)
+	for _, b := range aggregate.Histogram(e.index, e.coll, q, buckets) {
+		out = append(out, TimelineBucket{Start: b.Span.Start, End: b.Span.End, Count: b.Count, Mass: b.Mass})
+	}
+	return out
+}
+
+// Delete tombstones an object by id.
+func (e *Engine) Delete(id ObjectID) error {
+	if int(id) >= len(e.coll.Objects) {
+		return fmt.Errorf("temporalir: unknown object %d", id)
+	}
+	e.index.Delete(e.coll.Objects[id])
+	if e.deleted == nil {
+		e.deleted = map[ObjectID]bool{}
+	}
+	e.deleted[id] = true
+	return nil
+}

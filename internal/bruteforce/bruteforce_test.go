@@ -1,0 +1,65 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func buildCollection() *model.Collection {
+	var c model.Collection
+	// Mirrors the paper's running example (Figure 1), with the time axis
+	// mapped to integers 0..15 and elements a=0, b=1, c=2.
+	c.AppendObject(model.Interval{Start: 10, End: 15}, []model.ElemID{0, 1, 2}) // o1
+	c.AppendObject(model.Interval{Start: 2, End: 5}, []model.ElemID{0, 2})      // o2
+	c.AppendObject(model.Interval{Start: 0, End: 2}, []model.ElemID{1})         // o3
+	c.AppendObject(model.Interval{Start: 0, End: 15}, []model.ElemID{0, 1, 2})  // o4
+	c.AppendObject(model.Interval{Start: 3, End: 7}, []model.ElemID{1, 2})      // o5
+	c.AppendObject(model.Interval{Start: 2, End: 11}, []model.ElemID{2})        // o6
+	c.AppendObject(model.Interval{Start: 4, End: 14}, []model.ElemID{0, 2})     // o7
+	c.AppendObject(model.Interval{Start: 2, End: 3}, []model.ElemID{2})         // o8
+	return &c
+}
+
+func TestRunningExample(t *testing.T) {
+	// Query interval ≈ the red shaded area, elements {a, c}. Expected
+	// answers per Example 2.2: o2, o4, o7 (ids 1, 3, 6 zero-based).
+	ix := New(buildCollection())
+	got := ix.Query(model.Query{Interval: model.Interval{Start: 4, End: 6}, Elems: []model.ElemID{0, 2}})
+	want := []model.ObjectID{1, 3, 6}
+	if !model.EqualIDs(got, want) {
+		t.Errorf("running example: got %v, want %v", got, want)
+	}
+}
+
+func TestEmptyElementsMatchesAllOverlapping(t *testing.T) {
+	ix := New(buildCollection())
+	got := ix.Query(model.Query{Interval: model.Interval{Start: 0, End: 0}})
+	want := []model.ObjectID{2, 3} // o3 and o4 cover t=0
+	if !model.EqualIDs(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	c := buildCollection()
+	ix := New(c)
+	q := model.Query{Interval: model.Interval{Start: 4, End: 6}, Elems: []model.ElemID{0, 2}}
+
+	ix.Insert(model.Object{ID: 8, Interval: model.Interval{Start: 5, End: 5}, Elems: []model.ElemID{0, 2}})
+	got := ix.Query(q)
+	want := []model.ObjectID{1, 3, 6, 8}
+	if !model.EqualIDs(got, want) {
+		t.Errorf("after insert: got %v, want %v", got, want)
+	}
+
+	ix.Delete(3)
+	got = ix.Query(q)
+	want = []model.ObjectID{1, 6, 8}
+	if !model.EqualIDs(got, want) {
+		t.Errorf("after delete: got %v, want %v", got, want)
+	}
+	if ix.Len() != 8 {
+		t.Errorf("Len = %d, want 8", ix.Len())
+	}
+}

@@ -1,0 +1,31 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/postings"
+)
+
+func BenchmarkEncodeList(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	list := randomList(rng, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeList(list)
+	}
+}
+
+func BenchmarkDecodeScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	buf := EncodeList(randomList(rng, 10_000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewIterator(buf)
+		var p postings.Posting
+		for it.Next(&p) {
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/postings"
+	"repro/internal/testutil"
+	"repro/internal/tif"
+)
+
+func randomList(rng *rand.Rand, n int) []postings.Posting {
+	list := make([]postings.Posting, n)
+	id := uint32(0)
+	for i := range list {
+		id += 1 + uint32(rng.Intn(50))
+		s := model.Timestamp(rng.Intn(100000))
+		list[i] = postings.Posting{
+			ID:       model.ObjectID(id),
+			Interval: model.Interval{Start: s, End: s + model.Timestamp(rng.Intn(5000))},
+		}
+	}
+	return list
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		list := randomList(rng, rng.Intn(200))
+		got := DecodeList(EncodeList(list), len(list))
+		if len(got) != len(list) {
+			t.Fatalf("trial %d: decoded %d of %d", trial, len(got), len(list))
+		}
+		for i := range list {
+			if got[i] != list[i] {
+				t.Fatalf("trial %d entry %d: %+v vs %+v", trial, i, got[i], list[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(starts []uint16, durs []uint8) bool {
+		n := len(starts)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		list := make([]postings.Posting, n)
+		for i := 0; i < n; i++ {
+			s := model.Timestamp(starts[i])
+			list[i] = postings.Posting{
+				ID:       model.ObjectID(i * 3),
+				Interval: model.Interval{Start: s, End: s + model.Timestamp(durs[i])},
+			}
+		}
+		got := DecodeList(EncodeList(list), n)
+		if len(got) != n {
+			return false
+		}
+		for i := range list {
+			if got[i] != list[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIteratorReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	list := randomList(rng, 50)
+	it := NewIterator(EncodeList(list))
+	var p postings.Posting
+	count := 0
+	for it.Next(&p) {
+		count++
+	}
+	it.Reset()
+	count2 := 0
+	for it.Next(&p) {
+		count2++
+	}
+	if count != 50 || count2 != 50 {
+		t.Errorf("counts %d, %d", count, count2)
+	}
+}
+
+func TestTruncatedBufferStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := EncodeList(randomList(rng, 20))
+	for cut := 0; cut < len(buf); cut += 3 {
+		it := NewIterator(buf[:cut])
+		var p postings.Posting
+		n := 0
+		for it.Next(&p) {
+			n++
+			if n > 20 {
+				t.Fatal("runaway iterator")
+			}
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	list := randomList(rng, 1000)
+	buf := EncodeList(list)
+	raw := len(list) * 16
+	if len(buf) >= raw {
+		t.Errorf("compressed %d >= raw %d bytes", len(buf), raw)
+	}
+}
+
+func TestCompressedTIFMatchesPlain(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := testutil.DefaultConfig(seed + 80)
+		c := testutil.RandomCollection(cfg)
+		plain := tif.New(c)
+		compressed := NewTIF(c)
+		for i, q := range testutil.RandomQueries(cfg, 150, seed+81) {
+			a := testutil.Canonical(plain.Query(q))
+			b := testutil.Canonical(compressed.Query(q))
+			if !model.EqualIDs(a, b) {
+				t.Fatalf("seed %d query %d: plain %v != compressed %v", seed, i, a, b)
+			}
+		}
+		if compressed.SizeBytes() >= plain.SizeBytes() {
+			t.Errorf("compressed (%d B) should undercut plain (%d B)",
+				compressed.SizeBytes(), plain.SizeBytes())
+		}
+		if compressed.Len() != c.Len() {
+			t.Errorf("Len = %d", compressed.Len())
+		}
+	}
+}
+
+func TestCompressedTIFTemporalOnly(t *testing.T) {
+	cfg := testutil.DefaultConfig(90)
+	c := testutil.RandomCollection(cfg)
+	plain := tif.New(c)
+	compressed := NewTIF(c)
+	q := model.Query{Interval: model.Interval{Start: 100, End: 2000}}
+	a := testutil.Canonical(plain.Query(q))
+	b := testutil.Canonical(compressed.Query(q))
+	if !model.EqualIDs(a, b) {
+		t.Errorf("temporal-only mismatch: %d vs %d ids", len(a), len(b))
+	}
+}
+
+func TestCompressedTIFUnknownElement(t *testing.T) {
+	cfg := testutil.DefaultConfig(91)
+	c := testutil.RandomCollection(cfg)
+	ix := NewTIF(c)
+	q := model.Query{Interval: model.Interval{Start: 0, End: 5000}, Elems: []model.ElemID{model.ElemID(cfg.Dict + 5)}}
+	if got := ix.Query(q); len(got) != 0 {
+		t.Errorf("unknown element returned %v", got)
+	}
+}

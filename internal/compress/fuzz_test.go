@@ -1,0 +1,35 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+func iv(s, e model.Timestamp) model.Interval { return model.Interval{Start: s, End: e} }
+
+// FuzzIterator feeds arbitrary bytes to the decoder: it must terminate
+// without panicking and only ever produce valid intervals.
+func FuzzIterator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add(EncodeList([]postings.Posting{
+		{ID: 3, Interval: iv(10, 20)},
+		{ID: 9, Interval: iv(15, 15)},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it := NewIterator(data)
+		var p postings.Posting
+		n := 0
+		for it.Next(&p) {
+			if !p.Interval.Valid() {
+				t.Fatalf("invalid interval decoded: %v", p.Interval)
+			}
+			n++
+			if n > len(data)+1 {
+				t.Fatal("decoder produced more postings than input bytes")
+			}
+		}
+	})
+}

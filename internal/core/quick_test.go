@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+// Property: for any m and any random workload shape, both irHINT variants
+// agree with the brute-force oracle.
+func TestVariantsQuick(t *testing.T) {
+	f := func(mRaw uint8, seed int64, q0, q1 uint16, e0, e1 uint8) bool {
+		m := int(mRaw%9) + 1
+		cfg := testutil.CollectionConfig{N: 150, DomainLo: 0, DomainHi: 4000, Dict: 20, MaxDesc: 5, Seed: seed}
+		c := testutil.RandomCollection(cfg)
+		oracle := bruteforce.New(c)
+		perf := NewPerf(c, WithM(m))
+		size := NewSize(c, WithM(m))
+		q := model.Query{
+			Interval: model.Canon(model.Timestamp(q0)%4001, model.Timestamp(q1)%4001),
+			Elems:    model.NormalizeElems([]model.ElemID{model.ElemID(e0) % 20, model.ElemID(e1) % 20}),
+		}
+		want := testutil.Canonical(oracle.Query(q))
+		return model.EqualIDs(testutil.Canonical(perf.Query(q)), want) &&
+			model.EqualIDs(testutil.Canonical(size.Query(q)), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: findElem agrees with a linear scan for any sorted directory.
+func TestFindElemQuick(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		elems := make([]model.ElemID, 0, len(raw))
+		for _, v := range raw {
+			elems = append(elems, model.ElemID(v))
+		}
+		elems = model.NormalizeElems(elems)
+		pos, found := findElem(elems, model.ElemID(probe))
+		wantFound := false
+		wantPos := len(elems)
+		for i, e := range elems {
+			if e >= model.ElemID(probe) {
+				wantPos = i
+				wantFound = e == model.ElemID(probe)
+				break
+			}
+		}
+		return pos == wantPos && found == wantFound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the perf variant's entry count equals description postings
+// times the interval's partition count — i.e. the redundancy the size
+// variant removes is exactly |d| per division.
+func TestEntryCountRelationship(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		cfg := testutil.CollectionConfig{
+			N: 100, DomainLo: 0, DomainHi: 2000, Dict: 15,
+			MaxDesc: 1 + rng.Intn(6), Seed: int64(trial),
+		}
+		c := testutil.RandomCollection(cfg)
+		perf := NewPerf(c, WithM(5))
+		size := NewSize(c, WithM(5))
+		// size stores per division: 1 interval + |d| ids; perf stores |d|
+		// postings. With every object having |d| >= 1, perf >= size's
+		// interval entries and the inverted id counts match perf exactly.
+		var sizeIvals, sizeIDs int64
+		for l := range size.levels {
+			for _, p := range size.levels[l].parts {
+				sizeIvals += int64(len(p.o.ivals) + len(p.r.ivals))
+				for i := range p.o.lists {
+					sizeIDs += int64(len(p.o.lists[i]))
+				}
+				for i := range p.r.lists {
+					sizeIDs += int64(len(p.r.lists[i]))
+				}
+			}
+		}
+		if perf.EntryCount() != sizeIDs {
+			t.Fatalf("trial %d: perf entries %d != size inverted ids %d",
+				trial, perf.EntryCount(), sizeIDs)
+		}
+		if size.EntryCount() != sizeIvals+sizeIDs {
+			t.Fatalf("trial %d: size EntryCount inconsistent", trial)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/domain"
+	"repro/internal/hint"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// sizeDiv is one division of the size variant: the interval store (each
+// lifespan exactly once, beneficially sorted — by start for originals, by
+// end for replicas) plus an id-only inverted index.
+type sizeDiv struct {
+	ivals []postings.Posting
+	elems []model.ElemID
+	lists [][]model.ObjectID
+}
+
+// sizePart is one partition: originals and replicas divisions.
+type sizePart struct {
+	o sizeDiv
+	r sizeDiv
+}
+
+// SizeIndex is the size-focused irHINT variant (Section 4.2 /
+// Algorithm 6): per division the temporal and description attributes are
+// decoupled, so each object's interval is stored once per division
+// regardless of its description size, and full HINT beneficial sorting
+// applies to the interval store.
+type SizeIndex struct {
+	dom    domain.Domain
+	levels []directory[sizePart]
+	freqs  []int
+	live   int
+}
+
+// NewSize builds the size irHINT over a collection.
+func NewSize(c *model.Collection, opts ...Option) *SizeIndex {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dom := resolveDomain(c, cfg)
+	ix := &SizeIndex{
+		dom:    dom,
+		levels: make([]directory[sizePart], dom.M+1),
+		freqs:  make([]int, c.DictSize),
+	}
+	// Bulk mode: append interval-store entries unsorted, one sort per
+	// division afterwards (sorted insertion would be quadratic in the
+	// root partitions of long-interval datasets).
+	for i := range c.Objects {
+		ix.place(&c.Objects[i], true)
+	}
+	for l := range ix.levels {
+		for _, p := range ix.levels[l].parts {
+			sort.Slice(p.o.ivals, func(a, b int) bool {
+				return p.o.ivals[a].Interval.Start < p.o.ivals[b].Interval.Start
+			})
+			sort.Slice(p.r.ivals, func(a, b int) bool {
+				return p.r.ivals[a].Interval.End < p.r.ivals[b].Interval.End
+			})
+		}
+	}
+	return ix
+}
+
+// Domain exposes the discretization.
+func (ix *SizeIndex) Domain() domain.Domain { return ix.dom }
+
+// M returns the hierarchy bits.
+func (ix *SizeIndex) M() int { return ix.dom.M }
+
+// Len returns the number of live objects.
+func (ix *SizeIndex) Len() int { return ix.live }
+
+// Insert routes the object and adds, per division: one interval-store
+// entry plus one id per element in the division's inverted index.
+func (ix *SizeIndex) Insert(o model.Object) {
+	ix.place(&o, false)
+}
+
+func (ix *SizeIndex) place(o *model.Object, bulk bool) {
+	p := postings.Posting{ID: o.ID, Interval: o.Interval}
+	hint.Assign(ix.dom, o.Interval, func(level int, j uint32, original, _ bool) {
+		part := ix.levels[level].getOrCreate(j)
+		div := &part.o
+		switch {
+		case bulk && original:
+			div.ivals = append(div.ivals, p)
+		case bulk:
+			div = &part.r
+			div.ivals = append(div.ivals, p)
+		case original:
+			div.ivals = insertSortedBy(div.ivals, p, byStart)
+		default:
+			div = &part.r
+			div.ivals = insertSortedBy(div.ivals, p, byEnd)
+		}
+		for _, e := range o.Elems {
+			div.addElem(e, o.ID)
+		}
+	})
+	for _, e := range o.Elems {
+		ix.growTo(int(e) + 1)
+		ix.freqs[e]++
+	}
+	ix.live++
+}
+
+func byStart(p postings.Posting) model.Timestamp { return p.Interval.Start }
+func byEnd(p postings.Posting) model.Timestamp   { return p.Interval.End }
+
+func insertSortedBy(s []postings.Posting, p postings.Posting, key func(postings.Posting) model.Timestamp) []postings.Posting {
+	if n := len(s); n == 0 || key(s[n-1]) <= key(p) {
+		return append(s, p)
+	}
+	i := sort.Search(len(s), func(i int) bool { return key(s[i]) > key(p) })
+	s = append(s, postings.Posting{})
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+// addElem appends id to element e's id-only postings list.
+func (d *sizeDiv) addElem(e model.ElemID, id model.ObjectID) {
+	i, found := findElem(d.elems, e)
+	if !found {
+		d.elems = append(d.elems, 0)
+		d.lists = append(d.lists, nil)
+		copy(d.elems[i+1:], d.elems[i:])
+		copy(d.lists[i+1:], d.lists[i:])
+		d.elems[i] = e
+		d.lists[i] = nil
+	}
+	l := d.lists[i]
+	if n := len(l); n == 0 || l[n-1] < id {
+		d.lists[i] = append(l, id)
+		return
+	}
+	k := sort.Search(len(l), func(k int) bool { return l[k] >= id })
+	if k < len(l) && l[k] == id {
+		return
+	}
+	l = append(l, 0)
+	copy(l[k+1:], l[k:])
+	l[k] = id
+	d.lists[i] = l
+}
+
+// list returns element e's id list, or nil.
+func (d *sizeDiv) list(e model.ElemID) []model.ObjectID {
+	if i, ok := findElem(d.elems, e); ok {
+		return d.lists[i]
+	}
+	return nil
+}
+
+// Delete locates the interval-store entries via the assignment and sets
+// their dead bit. The id-only inverted lists stay untouched: a dead object
+// can never enter a candidate set, so its postings are unreachable.
+func (ix *SizeIndex) Delete(o model.Object) {
+	found := false
+	hint.Assign(ix.dom, o.Interval, func(level int, j uint32, original, _ bool) {
+		part := ix.levels[level].get(j)
+		if part == nil {
+			return
+		}
+		if original {
+			found = killSortedBy(part.o.ivals, o, byStart) || found
+		} else {
+			found = killSortedBy(part.r.ivals, o, byEnd) || found
+		}
+	})
+	if found {
+		for _, e := range o.Elems {
+			if int(e) < len(ix.freqs) {
+				ix.freqs[e]--
+			}
+		}
+		ix.live--
+	}
+}
+
+func killSortedBy(s []postings.Posting, o model.Object, key func(postings.Posting) model.Timestamp) bool {
+	target := key(postings.Posting{ID: o.ID, Interval: o.Interval})
+	i := sort.Search(len(s), func(i int) bool { return key(s[i]) >= target })
+	for ; i < len(s) && key(s[i]) == target; i++ {
+		if postings.LiveID(s[i].ID) == o.ID && !postings.IsDead(s[i].ID) {
+			s[i].ID = postings.MarkDead(s[i].ID)
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *SizeIndex) growTo(n int) {
+	for len(ix.freqs) < n {
+		ix.freqs = append(ix.freqs, 0)
+	}
+}
+
+// Query implements Algorithm 6: per relevant division, range-filter the
+// interval store into candidates (using the beneficial sorting and the
+// division's obligations), sort them by id, and merge-intersect with the
+// division's id-only postings list of every query element.
+func (ix *SizeIndex) Query(q model.Query) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnly(q.Interval)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	var out []model.ObjectID
+	var cbuf []model.ObjectID
+	hint.Visit(ix.dom, q.Interval, func(lv hint.LevelVisit) {
+		ix.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *sizePart) {
+			ob := lv.Oblige(j)
+			// Short-circuit: a division whose inverted index lacks the
+			// least frequent query element cannot contribute, so the
+			// (comparatively expensive) interval range-filter and sort of
+			// Algorithm 6 are skipped outright. This preserves Algorithm
+			// 6's semantics; it only reorders its two steps.
+			if p.o.list(plan[0]) != nil {
+				cbuf = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q.Interval, cbuf[:0])
+				out = intersectDiv(&p.o, cbuf, plan, out)
+			}
+			if ob.First && p.r.list(plan[0]) != nil {
+				cbuf = filterReplicas(p.r.ivals, ob.CheckStart, q.Interval, cbuf[:0])
+				out = intersectDiv(&p.r, cbuf, plan, out)
+			}
+		})
+	})
+	return out
+}
+
+// filterOriginals collects live candidate ids from a start-sorted
+// originals store under the given obligations.
+func filterOriginals(s []postings.Posting, checkStart, checkEnd bool, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	cut := len(s)
+	if checkEnd {
+		cut = sort.Search(len(s), func(i int) bool { return s[i].Interval.Start > q.End })
+	}
+	for i := 0; i < cut; i++ {
+		if checkStart && s[i].Interval.End < q.Start {
+			continue
+		}
+		if !postings.IsDead(s[i].ID) {
+			dst = append(dst, s[i].ID)
+		}
+	}
+	return dst
+}
+
+// filterReplicas collects live candidate ids from an end-sorted replicas
+// store; replicas never need the end-side check.
+func filterReplicas(s []postings.Posting, checkStart bool, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	lo := 0
+	if checkStart {
+		lo = sort.Search(len(s), func(i int) bool { return s[i].Interval.End >= q.Start })
+	}
+	for i := lo; i < len(s); i++ {
+		if !postings.IsDead(s[i].ID) {
+			dst = append(dst, s[i].ID)
+		}
+	}
+	return dst
+}
+
+// intersectDiv sorts the candidates by id (line 11 of Algorithm 6) and
+// intersects them with the division's list of every plan element, then
+// appends the survivors to out.
+func intersectDiv(d *sizeDiv, cands []model.ObjectID, plan []model.ElemID, out []model.ObjectID) []model.ObjectID {
+	if len(cands) == 0 {
+		return out
+	}
+	model.SortIDs(cands)
+	for _, e := range plan {
+		l := d.list(e)
+		if l == nil {
+			return out
+		}
+		cands = postings.IntersectSortedIDs(cands, l, cands[:0])
+		if len(cands) == 0 {
+			return out
+		}
+	}
+	return append(out, cands...)
+}
+
+func (ix *SizeIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {
+	var out []model.ObjectID
+	hint.Visit(ix.dom, q, func(lv hint.LevelVisit) {
+		ix.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *sizePart) {
+			ob := lv.Oblige(j)
+			out = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q, out)
+			if ob.First {
+				out = filterReplicas(p.r.ivals, ob.CheckStart, q, out)
+			}
+		})
+	})
+	return out
+}
+
+// SizeBytes estimates resident size: 16-byte interval entries once per
+// division plus 4-byte id postings — the storage saving of Section 4.2.
+func (ix *SizeIndex) SizeBytes() int64 {
+	var total int64
+	for l := range ix.levels {
+		d := &ix.levels[l]
+		total += int64(cap(d.keys))*4 + int64(cap(d.parts))*8
+		for _, p := range d.parts {
+			total += divSize(&p.o) + divSize(&p.r) + 96
+		}
+	}
+	return total + int64(len(ix.freqs))*8
+}
+
+func divSize(d *sizeDiv) int64 {
+	total := int64(cap(d.ivals))*16 + int64(cap(d.elems))*4 + int64(cap(d.lists))*24
+	for i := range d.lists {
+		total += int64(cap(d.lists[i])) * 4
+	}
+	return total
+}
+
+// EntryCount counts interval entries plus inverted postings.
+func (ix *SizeIndex) EntryCount() int64 {
+	var total int64
+	for l := range ix.levels {
+		for _, p := range ix.levels[l].parts {
+			total += int64(len(p.o.ivals) + len(p.r.ivals))
+			for i := range p.o.lists {
+				total += int64(len(p.o.lists[i]))
+			}
+			for i := range p.r.lists {
+				total += int64(len(p.r.lists[i]))
+			}
+		}
+	}
+	return total
+}

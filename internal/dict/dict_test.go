@@ -1,0 +1,104 @@
+package dict
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestInternLookupTerm(t *testing.T) {
+	d := New()
+	a := d.Intern("apple")
+	b := d.Intern("banana")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if again := d.Intern("apple"); again != a {
+		t.Errorf("re-intern gave %d, want %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if id, ok := d.Lookup("banana"); !ok || id != b {
+		t.Errorf("Lookup(banana) = %d, %v", id, ok)
+	}
+	if _, ok := d.Lookup("cherry"); ok {
+		t.Error("Lookup of missing term succeeded")
+	}
+	if d.Term(a) != "apple" || d.Term(b) != "banana" {
+		t.Error("Term round-trip failed")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var d Dictionary
+	id := d.Intern("x")
+	if d.Term(id) != "x" {
+		t.Error("zero-value dictionary broken")
+	}
+}
+
+func TestAddObjectFrequencies(t *testing.T) {
+	d := New()
+	e1 := d.AddObject([]string{"a", "b", "a"}) // dup "a" counted once
+	e2 := d.AddObject([]string{"b", "c"})
+	if len(e1) != 2 {
+		t.Fatalf("normalized elems = %v", e1)
+	}
+	a, _ := d.Lookup("a")
+	b, _ := d.Lookup("b")
+	c, _ := d.Lookup("c")
+	if d.Freq(a) != 1 || d.Freq(b) != 2 || d.Freq(c) != 1 {
+		t.Errorf("freqs = %d %d %d", d.Freq(a), d.Freq(b), d.Freq(c))
+	}
+	if d.TotalPostings() != 4 {
+		t.Errorf("TotalPostings = %d, want 4", d.TotalPostings())
+	}
+	_ = e2
+	if d.Freq(model.ElemID(99)) != 0 {
+		t.Error("Freq out of range should be 0")
+	}
+}
+
+func TestAddElemsGrows(t *testing.T) {
+	var d Dictionary
+	d.AddElems([]model.ElemID{5, 2})
+	if d.Freq(5) != 1 || d.Freq(2) != 1 || d.Freq(3) != 0 {
+		t.Errorf("freqs after AddElems: %d %d %d", d.Freq(5), d.Freq(2), d.Freq(3))
+	}
+	if d.Len() != 6 {
+		t.Errorf("Len = %d, want 6", d.Len())
+	}
+}
+
+func TestPlanOrder(t *testing.T) {
+	freqs := []int{10, 1, 5, 1}
+	got := PlanOrder([]model.ElemID{0, 1, 2, 3}, freqs)
+	want := []model.ElemID{1, 3, 2, 0} // ties broken by id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PlanOrder = %v, want %v", got, want)
+		}
+	}
+	// Input must not be mutated.
+	in := []model.ElemID{0, 1}
+	_ = PlanOrder(in, freqs)
+	if in[0] != 0 || in[1] != 1 {
+		t.Error("PlanOrder mutated its input")
+	}
+	// Out-of-range ids are treated as frequency 0.
+	got = PlanOrder([]model.ElemID{0, 9}, freqs)
+	if got[0] != 9 {
+		t.Errorf("out-of-range elem should sort first, got %v", got)
+	}
+}
+
+func TestFreqsFromCollection(t *testing.T) {
+	var c model.Collection
+	c.AppendObject(model.Interval{Start: 0, End: 1}, []model.ElemID{0, 1})
+	c.AppendObject(model.Interval{Start: 0, End: 1}, []model.ElemID{1})
+	freqs := FreqsFromCollection(&c)
+	if freqs[0] != 1 || freqs[1] != 2 {
+		t.Errorf("freqs = %v", freqs)
+	}
+}

@@ -1,0 +1,154 @@
+// Package encoding provides a compact binary on-disk format for
+// collections, so cmd/irgen can materialize datasets once and
+// cmd/irbench / cmd/irquery can reload them. The format is
+// little-endian with varint-compressed deltas:
+//
+//	magic "TIRC" | version u8 | dictSize uvarint | count uvarint
+//	per object: start varint (delta from previous start) |
+//	            duration uvarint | nElems uvarint |
+//	            elem deltas uvarint... (sorted elements, gap-encoded)
+//
+// Objects are sorted by start before writing, matching how archive
+// systems ingest, and ids are re-assigned densely on load.
+package encoding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/model"
+)
+
+var magic = [4]byte{'T', 'I', 'R', 'C'}
+
+const version = 1
+
+// Write serializes the collection. The input is not mutated: objects are
+// sorted by interval start into a scratch index first.
+func Write(w io.Writer, c *model.Collection) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(c.DictSize)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(c.Objects))); err != nil {
+		return err
+	}
+	order := make([]int, len(c.Objects))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return c.Objects[order[a]].Interval.Start < c.Objects[order[b]].Interval.Start
+	})
+	prevStart := int64(0)
+	for _, oi := range order {
+		o := &c.Objects[oi]
+		if err := putVarint(int64(o.Interval.Start) - prevStart); err != nil {
+			return err
+		}
+		prevStart = int64(o.Interval.Start)
+		if err := putUvarint(uint64(o.Interval.Duration())); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(o.Elems))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for _, e := range o.Elems {
+			if err := putUvarint(uint64(e) - prev); err != nil {
+				return err
+			}
+			prev = uint64(e)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a collection written by Write.
+func Read(r io.Reader) (*model.Collection, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("encoding: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("encoding: bad magic, not a TIRC file")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("encoding: unsupported version %d", ver)
+	}
+	dictSize, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: dict size: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: count: %w", err)
+	}
+	c := &model.Collection{DictSize: int(dictSize)}
+	c.Objects = make([]model.Object, 0, count)
+	prevStart := int64(0)
+	for i := uint64(0); i < count; i++ {
+		dStart, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: object %d start: %w", i, err)
+		}
+		start := prevStart + dStart
+		prevStart = start
+		dur, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: object %d duration: %w", i, err)
+		}
+		if dur == 0 || dur > 1<<42 {
+			return nil, fmt.Errorf("encoding: object %d has implausible duration %d", i, dur)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: object %d nElems: %w", i, err)
+		}
+		elems := make([]model.ElemID, n)
+		prev := uint64(0)
+		for k := range elems {
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: object %d elem %d: %w", i, k, err)
+			}
+			prev += gap
+			if prev >= dictSize {
+				return nil, fmt.Errorf("encoding: object %d elem %d out of dictionary", i, k)
+			}
+			elems[k] = model.ElemID(prev)
+		}
+		c.Objects = append(c.Objects, model.Object{
+			ID:       model.ObjectID(i),
+			Interval: model.Interval{Start: start, End: start + int64(dur) - 1},
+			Elems:    elems,
+		})
+	}
+	return c, nil
+}

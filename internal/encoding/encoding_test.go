@@ -1,0 +1,165 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := gen.Synthetic(gen.SyntheticConfig{Seed: 3}.Defaults(0.0005))
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != c.Len() || got.DictSize != c.DictSize {
+		t.Fatalf("Len/DictSize mismatch: %d/%d vs %d/%d", got.Len(), got.DictSize, c.Len(), c.DictSize)
+	}
+	// Objects are re-ordered by start; compare as multisets of
+	// (interval, elems) signatures.
+	sig := func(c *model.Collection) map[string]int {
+		m := map[string]int{}
+		for i := range c.Objects {
+			o := &c.Objects[i]
+			var b strings.Builder
+			b.WriteString(o.Interval.String())
+			for _, e := range o.Elems {
+				b.WriteString(",")
+				b.WriteByte(byte('0' + e%10))
+				b.WriteString(string(rune('a' + e%26)))
+			}
+			m[b.String()]++
+		}
+		return m
+	}
+	a, b := sig(c), sig(got)
+	if len(a) != len(b) {
+		t.Fatalf("signature count mismatch: %d vs %d", len(a), len(b))
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("signature %q: %d vs %d", k, n, b[k])
+		}
+	}
+	// Loaded ids are dense and starts non-decreasing.
+	for i := range got.Objects {
+		if got.Objects[i].ID != model.ObjectID(i) {
+			t.Fatal("ids not dense")
+		}
+		if i > 0 && got.Objects[i].Interval.Start < got.Objects[i-1].Interval.Start {
+			t.Fatal("objects not start-ordered")
+		}
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	var c model.Collection
+	var buf bytes.Buffer
+	if err := Write(&buf, &c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE....."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	c := gen.Synthetic(gen.SyntheticConfig{Seed: 4}.Defaults(0.0002))
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 5, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := append([]byte("TIRC"), 99)
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version error = %v", err)
+	}
+}
+
+func TestNegativeTimestampsSurvive(t *testing.T) {
+	var c model.Collection
+	c.AppendObject(model.Interval{Start: -500, End: -100}, []model.ElemID{0})
+	c.AppendObject(model.Interval{Start: -50, End: 200}, []model.ElemID{1})
+	var buf bytes.Buffer
+	if err := Write(&buf, &c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objects[0].Interval != (model.Interval{Start: -500, End: -100}) {
+		t.Errorf("first interval = %v", got.Objects[0].Interval)
+	}
+}
+
+func TestRandomCorruptionNeverPanics(t *testing.T) {
+	c := gen.Synthetic(gen.SyntheticConfig{Seed: 6}.Defaults(0.0003))
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), data...)
+		for flips := 0; flips < 1+rng.Intn(5); flips++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 << rng.Intn(8))
+		}
+		// Reading may error or may succeed with altered-but-valid data;
+		// it must never panic and never produce invalid intervals.
+		got, err := Read(bytes.NewReader(corrupted))
+		if err != nil {
+			continue
+		}
+		for i := range got.Objects {
+			if !got.Objects[i].Interval.Valid() {
+				t.Fatalf("trial %d: invalid interval decoded", trial)
+			}
+		}
+	}
+}
+
+func TestCompressionBeatsNaive(t *testing.T) {
+	c := gen.Synthetic(gen.SyntheticConfig{Seed: 5}.Defaults(0.001))
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	naive := int64(c.Len())*16 + 4*int64(func() int {
+		n := 0
+		for i := range c.Objects {
+			n += len(c.Objects[i].Elems)
+		}
+		return n
+	}())
+	if int64(buf.Len()) >= naive {
+		t.Errorf("varint encoding (%d bytes) should beat the naive layout (%d bytes)", buf.Len(), naive)
+	}
+}

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// SyntheticConfig mirrors Table 4 of the paper: the construction
+// parameters of the synthetic datasets. Zero values take the defaults
+// below.
+type SyntheticConfig struct {
+	Cardinality int     // number of objects (paper default 1M)
+	DomainSize  int64   // time-domain units (paper default 128M)
+	Alpha       float64 // zipf skew of interval durations (default 1.2)
+	Sigma       float64 // stddev of the normal interval position (default DomainSize/128)
+	DictSize    int     // dictionary size (paper default 100K)
+	DescSize    int     // average description size |d| (default 10)
+	Zeta        float64 // zipf skew of element frequencies (default 1.25)
+	Seed        int64
+}
+
+// Defaults fills in zero fields with the paper's default values, scaled by
+// the given factor in (0, 1] so the full experiment grid also runs at
+// laptop scale (Section 3 of DESIGN.md documents this substitution).
+func (cfg SyntheticConfig) Defaults(scale float64) SyntheticConfig {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	def := func(have int, want float64) int {
+		if have > 0 {
+			return have
+		}
+		n := int(want * scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	cfg.Cardinality = def(cfg.Cardinality, 1_000_000)
+	if cfg.DomainSize <= 0 {
+		cfg.DomainSize = int64(128_000_000 * scale)
+		if cfg.DomainSize < 1024 {
+			cfg.DomainSize = 1024
+		}
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1.2
+	}
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = float64(cfg.DomainSize) / 128
+	}
+	cfg.DictSize = def(cfg.DictSize, 100_000)
+	if cfg.DescSize <= 0 {
+		cfg.DescSize = 10
+	}
+	if cfg.Zeta <= 0 {
+		cfg.Zeta = 1.25
+	}
+	return cfg
+}
+
+// maxDurationRanks bounds the zipf duration table so construction stays
+// O(ranks); durations are rescaled onto the domain.
+const maxDurationRanks = 1 << 16
+
+// Synthetic generates a dataset per the paper's recipe: interval durations
+// zipf(alpha), interval midpoints normal(domain/2, sigma), element
+// frequencies zipf(zeta) over the dictionary, |d| elements per object.
+func Synthetic(cfg SyntheticConfig) *model.Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &model.Collection{DictSize: cfg.DictSize}
+
+	ranks := maxDurationRanks
+	if int64(ranks) > cfg.DomainSize {
+		ranks = int(cfg.DomainSize)
+	}
+	durZipf := NewZipf(ranks, cfg.Alpha)
+	durScale := float64(cfg.DomainSize) / float64(ranks)
+	elemZipf := NewZipf(cfg.DictSize, cfg.Zeta)
+	// Zipf rank r maps to a fixed random permutation of element ids so
+	// that frequent elements are spread over the id space (as interning
+	// order would produce in practice).
+	perm := rng.Perm(cfg.DictSize)
+
+	half := float64(cfg.DomainSize) / 2
+	for i := 0; i < cfg.Cardinality; i++ {
+		dur := int64(float64(durZipf.Draw(rng)) * durScale)
+		if dur < 1 {
+			dur = 1
+		}
+		mid := ClampedNormal(rng, half, cfg.Sigma, 0, float64(cfg.DomainSize-1))
+		start := model.Timestamp(mid - float64(dur)/2)
+		if start < 0 {
+			start = 0
+		}
+		end := start + model.Timestamp(dur-1)
+		if end >= model.Timestamp(cfg.DomainSize) {
+			end = model.Timestamp(cfg.DomainSize - 1)
+		}
+		elems := make([]model.ElemID, cfg.DescSize)
+		for j := range elems {
+			elems[j] = model.ElemID(perm[elemZipf.Draw(rng)-1])
+		}
+		c.AppendObject(model.Interval{Start: start, End: end}, elems)
+	}
+	return c
+}
+
+// RealConfig shapes the two real-dataset stand-ins on a size scale in
+// (0, 1]; 1.0 reproduces the Table 3 cardinalities.
+type RealConfig struct {
+	Scale float64
+	Seed  int64
+}
+
+// ECLOGLike generates a collection matching the distributional shape of
+// the ECLOG dataset (Table 3): ~300K e-commerce sessions over a ~15.8M
+// second domain, mean duration ~8.4% of the domain, a 178K-element
+// dictionary with zipfian request frequencies, and ~72-element
+// descriptions with a heavy (lognormal) tail up to ~14K.
+func ECLOGLike(cfg RealConfig) *model.Collection {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		cfg.Scale = 1
+	}
+	// Only the cardinality scales; the dictionary keeps its full size so
+	// that element frequencies, as fractions of the collection, match
+	// Table 3 at every scale (scaling the dictionary down would inflate
+	// per-element frequencies and distort who wins the intersections).
+	return realLike(realShape{
+		cardinality: scaleInt(300_311, cfg.Scale),
+		domain:      15_807_599,
+		durAlpha:    1.01, // heavy tail: mean duration ~8% of the domain
+		dict:        178_478,
+		descMu:      math.Log(38),
+		descSigma:   1.05, // mean ~72, max tail into the thousands
+		descMax:     14_399,
+		zeta:        1.1,
+		seed:        cfg.Seed,
+	})
+}
+
+// WikipediaLike generates a collection matching the WIKIPEDIA dataset
+// shape (Table 3): ~1.67M article revisions over ~126M seconds, mean
+// duration ~5.2% of the domain, a 927K-term dictionary, ~367-term
+// descriptions, and very frequent head terms (the most frequent term
+// appears in nearly every revision).
+func WikipediaLike(cfg RealConfig) *model.Collection {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		cfg.Scale = 1
+	}
+	return realLike(realShape{
+		cardinality: scaleInt(1_672_662, cfg.Scale),
+		domain:      126_230_391,
+		durAlpha:    1.1,
+		dict:        927_283,
+		descMu:      math.Log(195),
+		descSigma:   1.0, // mean ~367
+		descMax:     6_982,
+		zeta:        1.3, // heavier head: top terms in almost every object
+		seed:        cfg.Seed,
+	})
+}
+
+func scaleInt(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+type realShape struct {
+	cardinality int
+	domain      int64
+	durAlpha    float64
+	dict        int
+	descMu      float64
+	descSigma   float64
+	descMax     int
+	zeta        float64
+	seed        int64
+}
+
+func realLike(s realShape) *model.Collection {
+	rng := rand.New(rand.NewSource(s.seed))
+	c := &model.Collection{DictSize: s.dict}
+	ranks := maxDurationRanks
+	durZipf := NewZipf(ranks, s.durAlpha)
+	durScale := float64(s.domain) / float64(ranks)
+	elemZipf := NewZipf(s.dict, s.zeta)
+	for i := 0; i < s.cardinality; i++ {
+		dur := int64(float64(durZipf.Draw(rng)) * durScale)
+		if dur < 1 {
+			dur = 1
+		}
+		start := model.Timestamp(rng.Int63n(s.domain))
+		end := start + model.Timestamp(dur-1)
+		if end >= model.Timestamp(s.domain) {
+			end = model.Timestamp(s.domain - 1)
+		}
+		nd := int(math.Exp(rng.NormFloat64()*s.descSigma + s.descMu))
+		if nd < 1 {
+			nd = 1
+		}
+		if nd > s.descMax {
+			nd = s.descMax
+		}
+		if nd > s.dict {
+			nd = s.dict
+		}
+		elems := make([]model.ElemID, nd)
+		for j := range elems {
+			elems[j] = model.ElemID(elemZipf.Draw(rng) - 1)
+		}
+		c.AppendObject(model.Interval{Start: start, End: end}, elems)
+	}
+	return c
+}

@@ -1,0 +1,328 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestZipfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alpha := range []float64{0.5, 1.0, 1.01, 1.5, 2.0} {
+		z := NewZipf(100, alpha)
+		if z.N() != 100 {
+			t.Fatalf("N = %d", z.N())
+		}
+		for i := 0; i < 2000; i++ {
+			v := z.Draw(rng)
+			if v < 1 || v > 100 {
+				t.Fatalf("alpha=%v: draw %d out of [1,100]", alpha, v)
+			}
+		}
+	}
+	if NewZipf(0, 1.0).N() != 1 {
+		t.Error("n<1 should clamp to 1")
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher alpha concentrates mass on rank 1.
+	rng := rand.New(rand.NewSource(2))
+	count1 := func(alpha float64) int {
+		z := NewZipf(1000, alpha)
+		n := 0
+		for i := 0; i < 5000; i++ {
+			if z.Draw(rng) == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	lo, hi := count1(1.01), count1(2.0)
+	if hi <= lo {
+		t.Errorf("alpha=2.0 hit rank 1 %d times, alpha=1.01 %d times", hi, lo)
+	}
+}
+
+func TestZipfMatchesTheory(t *testing.T) {
+	// For alpha=1, P(1)/P(2) = 2; check the empirical ratio loosely.
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(50, 1.0)
+	counts := make([]int, 51)
+	for i := 0; i < 200000; i++ {
+		counts[z.Draw(rng)]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("P(1)/P(2) = %.2f, want ~2", ratio)
+	}
+}
+
+func TestClampedNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		v := ClampedNormal(rng, 50, 30, 0, 100)
+		if v < 0 || v > 100 {
+			t.Fatalf("value %v escaped clamp", v)
+		}
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	cfg := SyntheticConfig{}.Defaults(0.001)
+	if cfg.Cardinality != 1000 || cfg.DictSize != 100 {
+		t.Errorf("scaled defaults: card=%d dict=%d", cfg.Cardinality, cfg.DictSize)
+	}
+	if cfg.Alpha != 1.2 || cfg.Zeta != 1.25 || cfg.DescSize != 10 {
+		t.Errorf("shape defaults: %+v", cfg)
+	}
+	// Explicit values survive.
+	cfg2 := SyntheticConfig{Cardinality: 5, Alpha: 1.8}.Defaults(0.5)
+	if cfg2.Cardinality != 5 || cfg2.Alpha != 1.8 {
+		t.Errorf("explicit values overwritten: %+v", cfg2)
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 7}.Defaults(0.002)
+	c := Synthetic(cfg)
+	if c.Len() != cfg.Cardinality {
+		t.Fatalf("Len = %d, want %d", c.Len(), cfg.Cardinality)
+	}
+	span, _ := c.Span()
+	if span.Start < 0 || span.End >= model.Timestamp(cfg.DomainSize) {
+		t.Errorf("span %v escapes domain %d", span, cfg.DomainSize)
+	}
+	for i := range c.Objects {
+		o := &c.Objects[i]
+		if !o.Interval.Valid() {
+			t.Fatalf("object %d has invalid interval %v", i, o.Interval)
+		}
+		if len(o.Elems) == 0 || len(o.Elems) > cfg.DescSize {
+			t.Fatalf("object %d has %d elems", i, len(o.Elems))
+		}
+	}
+	// Determinism.
+	c2 := Synthetic(cfg)
+	if c2.Objects[0].Interval != c.Objects[0].Interval {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestSyntheticAlphaControlsDuration(t *testing.T) {
+	mean := func(alpha float64) float64 {
+		cfg := SyntheticConfig{Alpha: alpha, Seed: 9}.Defaults(0.002)
+		c := Synthetic(cfg)
+		var sum float64
+		for i := range c.Objects {
+			sum += float64(c.Objects[i].Interval.Duration())
+		}
+		return sum / float64(c.Len())
+	}
+	long, short := mean(1.01), mean(1.8)
+	if long <= short*2 {
+		t.Errorf("alpha=1.01 mean duration %.0f should dwarf alpha=1.8's %.0f", long, short)
+	}
+}
+
+func TestSyntheticZetaControlsSkew(t *testing.T) {
+	top := func(zeta float64) float64 {
+		cfg := SyntheticConfig{Zeta: zeta, Seed: 11}.Defaults(0.002)
+		c := Synthetic(cfg)
+		freqs := c.ElemFreqs()
+		max := 0
+		for _, f := range freqs {
+			if f > max {
+				max = f
+			}
+		}
+		return float64(max) / float64(c.Len())
+	}
+	if top(2.0) <= top(1.0) {
+		t.Error("zeta=2.0 should concentrate the head element harder than zeta=1.0")
+	}
+}
+
+func TestRealStandIns(t *testing.T) {
+	ec := ECLOGLike(RealConfig{Scale: 0.003, Seed: 1})
+	wk := WikipediaLike(RealConfig{Scale: 0.0008, Seed: 1})
+	for name, c := range map[string]*model.Collection{"eclog": ec, "wikipedia": wk} {
+		if c.Len() < 100 {
+			t.Fatalf("%s: only %d objects", name, c.Len())
+		}
+		var descSum int
+		for i := range c.Objects {
+			if !c.Objects[i].Interval.Valid() {
+				t.Fatalf("%s: invalid interval", name)
+			}
+			descSum += len(c.Objects[i].Elems)
+		}
+		if descSum/c.Len() < 5 {
+			t.Errorf("%s: mean |d| = %d, unrealistically small", name, descSum/c.Len())
+		}
+	}
+	// WIKIPEDIA-like descriptions are much larger than ECLOG-like on average.
+	meanDesc := func(c *model.Collection) float64 {
+		s := 0
+		for i := range c.Objects {
+			s += len(c.Objects[i].Elems)
+		}
+		return float64(s) / float64(c.Len())
+	}
+	if meanDesc(wk) <= meanDesc(ec) {
+		t.Errorf("wiki mean |d| %.0f <= eclog %.0f", meanDesc(wk), meanDesc(ec))
+	}
+}
+
+func TestECLOGDurationShare(t *testing.T) {
+	// Table 3: mean duration ~8.4% of the domain; accept a loose band.
+	c := ECLOGLike(RealConfig{Scale: 0.01, Seed: 3})
+	var sum float64
+	for i := range c.Objects {
+		sum += float64(c.Objects[i].Interval.Duration())
+	}
+	share := sum / float64(c.Len()) / 15_807_599
+	if share < 0.02 || share > 0.25 {
+		t.Errorf("mean duration share = %.3f, want ~0.084", share)
+	}
+}
+
+func TestWorkloadNonEmptyGuarantee(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 5}.Defaults(0.001)
+	c := Synthetic(cfg)
+	qs := Workload(c, DefaultQueryConfig(), 200, 13)
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if !q.Interval.Valid() {
+			t.Fatalf("query %d invalid interval", i)
+		}
+		if len(q.Elems) == 0 || len(q.Elems) > 3 {
+			t.Fatalf("query %d has %d elems", i, len(q.Elems))
+		}
+		// Seeded construction: at least one object matches.
+		found := false
+		for k := range c.Objects {
+			if q.Matches(&c.Objects[k]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %d has an empty result", i)
+		}
+	}
+}
+
+func TestWorkloadExtent(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 6}.Defaults(0.001)
+	c := Synthetic(cfg)
+	span, _ := c.Span()
+	want := int64(float64(span.End-span.Start) * 0.01)
+	qs := Workload(c, QueryConfig{ExtentFrac: 0.01, NumElems: 2}, 50, 3)
+	for _, q := range qs {
+		if got := int64(q.Interval.End - q.Interval.Start); got != want {
+			t.Fatalf("extent %d, want %d", got, want)
+		}
+	}
+	// Extent 0 produces stabbing queries.
+	for _, q := range Workload(c, QueryConfig{ExtentFrac: 0, NumElems: 1}, 20, 4) {
+		if q.Interval.Start != q.Interval.End {
+			t.Fatal("stab query has extent")
+		}
+	}
+}
+
+func TestElementsInFreqBin(t *testing.T) {
+	var c model.Collection
+	// Element 0 in every object; element 1 in one of ten.
+	for i := 0; i < 10; i++ {
+		elems := []model.ElemID{0}
+		if i == 0 {
+			elems = append(elems, 1)
+		}
+		c.AppendObject(model.Interval{Start: 0, End: 1}, elems)
+	}
+	head := ElementsInFreqBin(&c, 0.5, 1.01)
+	if len(head) != 1 || head[0] != 0 {
+		t.Errorf("head bin = %v", head)
+	}
+	tail := ElementsInFreqBin(&c, 0, 0.2)
+	if len(tail) != 1 || tail[0] != 1 {
+		t.Errorf("tail bin = %v", tail)
+	}
+}
+
+func TestWorkloadFreqBin(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 8}.Defaults(0.001)
+	c := Synthetic(cfg)
+	bin := FreqBins[3] // most frequent elements
+	binSet := map[model.ElemID]bool{}
+	for _, e := range ElementsInFreqBin(c, bin[0], bin[1]) {
+		binSet[e] = true
+	}
+	if len(binSet) == 0 {
+		t.Skip("no elements in the head bin at this scale")
+	}
+	qs := Workload(c, QueryConfig{ExtentFrac: 0.001, NumElems: 2, FreqBin: &bin}, 50, 9)
+	for _, q := range qs {
+		for _, e := range q.Elems {
+			if !binSet[e] {
+				t.Fatalf("element %d outside the requested bin", e)
+			}
+		}
+	}
+}
+
+func TestMixedPoolDiversity(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 10}.Defaults(0.001)
+	c := Synthetic(cfg)
+	pool := MixedPool(c, 300, 21)
+	if len(pool) != 300 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	extents := map[int64]bool{}
+	sizes := map[int]bool{}
+	for _, q := range pool {
+		extents[int64(q.Interval.End-q.Interval.Start)] = true
+		sizes[len(q.Elems)] = true
+	}
+	if len(extents) < 3 || len(sizes) < 3 {
+		t.Errorf("pool not diverse: %d extents, %d sizes", len(extents), len(sizes))
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 12}.Defaults(0.001)
+	c := Synthetic(cfg)
+	a := Workload(c, DefaultQueryConfig(), 50, 99)
+	b := Workload(c, DefaultQueryConfig(), 50, 99)
+	for i := range a {
+		if a[i].Interval != b[i].Interval || len(a[i].Elems) != len(b[i].Elems) {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+	other := Workload(c, DefaultQueryConfig(), 50, 100)
+	same := true
+	for i := range a {
+		if a[i].Interval != other[i].Interval {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestDescriptionLognormalMean(t *testing.T) {
+	// Sanity-check the lognormal parameters: exp(mu + sigma^2/2).
+	mu, sigma := math.Log(38), 1.05
+	want := math.Exp(mu + sigma*sigma/2)
+	if want < 50 || want > 100 {
+		t.Errorf("ECLOG desc mean parameterization drifted: %.1f", want)
+	}
+}

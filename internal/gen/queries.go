@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// QueryConfig shapes one experimental query workload, following the four
+// parameters Section 5.1 varies: interval extent, description size,
+// element frequency and (indirectly) selectivity.
+type QueryConfig struct {
+	// ExtentFrac is the query interval extent as a fraction of the data
+	// domain (0 produces stabbing queries). The paper's default is 0.001.
+	ExtentFrac float64
+	// NumElems is |q.d| (paper default 3).
+	NumElems int
+	// FreqBin, when non-nil, restricts query elements to those whose
+	// document frequency (as a fraction of the collection) lies in
+	// [FreqBin[0], FreqBin[1]).
+	FreqBin *[2]float64
+}
+
+// DefaultQueryConfig is the paper's default workload: 0.1% extent, 3
+// elements, no frequency restriction.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{ExtentFrac: 0.001, NumElems: 3}
+}
+
+// Workload generates n seeded queries against the collection. Unless a
+// frequency bin is forced, elements are drawn from a random seed object
+// positioned to overlap the query interval, so every query has a
+// non-empty result (the paper evaluates 10K random queries with
+// non-empty results) and element pick probability follows the element
+// frequency distribution, as the paper's motivation assumes.
+func Workload(c *model.Collection, cfg QueryConfig, n int, seed int64) []model.Query {
+	rng := rand.New(rand.NewSource(seed))
+	span, ok := c.Span()
+	if !ok {
+		return nil
+	}
+	if cfg.NumElems <= 0 {
+		cfg.NumElems = 3
+	}
+	extent := int64(float64(span.End-span.Start) * cfg.ExtentFrac)
+
+	var binElems []model.ElemID
+	if cfg.FreqBin != nil {
+		binElems = ElementsInFreqBin(c, cfg.FreqBin[0], cfg.FreqBin[1])
+	}
+
+	queries := make([]model.Query, 0, n)
+	for len(queries) < n {
+		var q model.Query
+		if binElems != nil {
+			q = binQuery(rng, c, span, extent, cfg.NumElems, binElems)
+		} else {
+			q = seededQuery(rng, c, span, extent, cfg.NumElems)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// seededQuery picks a random object, takes NumElems of its elements and
+// positions the query interval to overlap the object's lifespan.
+func seededQuery(rng *rand.Rand, c *model.Collection, span model.Interval, extent int64, numElems int) model.Query {
+	for {
+		o := &c.Objects[rng.Intn(len(c.Objects))]
+		if len(o.Elems) == 0 {
+			continue
+		}
+		elems := pickElems(rng, o.Elems, numElems)
+		// Place the query start so [start, start+extent] intersects the
+		// object's lifespan.
+		lo := o.Interval.Start - model.Timestamp(extent)
+		if lo < span.Start {
+			lo = span.Start
+		}
+		hi := o.Interval.End
+		if hi > span.End-model.Timestamp(extent) {
+			hi = span.End - model.Timestamp(extent)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		start := lo + model.Timestamp(rng.Int63n(int64(hi-lo)+1))
+		return model.Query{
+			Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+			Elems:    elems,
+		}
+	}
+}
+
+// binQuery draws elements from the frequency bin and positions the
+// interval uniformly; non-empty results are not guaranteed (rare-element
+// conjunctions can be empty — exactly the regime the frequency experiment
+// measures).
+func binQuery(rng *rand.Rand, c *model.Collection, span model.Interval, extent int64, numElems int, binElems []model.ElemID) model.Query {
+	elems := make([]model.ElemID, numElems)
+	for i := range elems {
+		elems[i] = binElems[rng.Intn(len(binElems))]
+	}
+	maxStart := int64(span.End-span.Start) - extent
+	if maxStart < 0 {
+		maxStart = 0
+	}
+	start := span.Start + model.Timestamp(rng.Int63n(maxStart+1))
+	return model.Query{
+		Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+		Elems:    model.NormalizeElems(elems),
+	}
+}
+
+// pickElems samples up to n distinct elements from the sorted set.
+func pickElems(rng *rand.Rand, from []model.ElemID, n int) []model.ElemID {
+	if n >= len(from) {
+		return append([]model.ElemID(nil), from...)
+	}
+	idx := rng.Perm(len(from))[:n]
+	out := make([]model.ElemID, n)
+	for i, k := range idx {
+		out[i] = from[k]
+	}
+	return model.NormalizeElems(out)
+}
+
+// ElementsInFreqBin returns the elements whose document frequency, as a
+// fraction of the collection cardinality, lies in [lo, hi). An open upper
+// bound is expressed with hi >= 1.
+func ElementsInFreqBin(c *model.Collection, lo, hi float64) []model.ElemID {
+	freqs := c.ElemFreqs()
+	n := float64(c.Len())
+	var out []model.ElemID
+	for e, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		frac := float64(f) / n
+		if frac >= lo && (frac < hi || hi >= 1) {
+			out = append(out, model.ElemID(e))
+		}
+	}
+	return out
+}
+
+// FreqBins are the four element-frequency bins of the paper's third
+// experimental parameter: [*-0.1%], (0.1%-1%], (1%-10%], (10%-*].
+var FreqBins = [4][2]float64{
+	{0, 0.001},
+	{0.001, 0.01},
+	{0.01, 0.1},
+	{0.1, 1.01},
+}
+
+// FreqBinLabels renders the bins the way the figures do.
+var FreqBinLabels = [4]string{"[*-0.1]", "(0.1-1]", "(1-10]", "(10-*]"}
+
+// SelectivityBins are the result-size bins (fraction of cardinality) of
+// the fourth experimental parameter: 0, (0-0.001%], ..., (1%-10%].
+var SelectivityBins = [6][2]float64{
+	{0, 0},
+	{0, 0.00001},
+	{0.00001, 0.0001},
+	{0.0001, 0.001},
+	{0.001, 0.01},
+	{0.01, 0.1},
+}
+
+// SelectivityBinLabels renders the bins the way Figure 11/12 label them.
+var SelectivityBinLabels = [6]string{"0", "(0-1e-3]", "(1e-3,1e-2]", "(1e-2,1e-1]", "(1e-1,1]", "(1,10]"}
+
+// MixedPool generates a diverse pool of queries (varying extent, |q.d| and
+// element rarity) for post-hoc classification into selectivity bins, the
+// way the paper's fourth parameter mixes cases.
+func MixedPool(c *model.Collection, n int, seed int64) []model.Query {
+	rng := rand.New(rand.NewSource(seed))
+	span, ok := c.Span()
+	if !ok {
+		return nil
+	}
+	extents := []float64{0, 0.0001, 0.001, 0.01, 0.1, 0.5}
+	out := make([]model.Query, 0, n)
+	for len(out) < n {
+		extent := int64(float64(span.End-span.Start) * extents[rng.Intn(len(extents))])
+		numElems := 1 + rng.Intn(5)
+		if rng.Intn(3) == 0 {
+			// Uniform random elements: likely-empty conjunctions feed the
+			// zero-results bin.
+			elems := make([]model.ElemID, numElems)
+			for i := range elems {
+				elems[i] = model.ElemID(rng.Intn(c.DictSize))
+			}
+			maxStart := int64(span.End-span.Start) - extent
+			if maxStart < 0 {
+				maxStart = 0
+			}
+			start := span.Start + model.Timestamp(rng.Int63n(maxStart+1))
+			out = append(out, model.Query{
+				Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+				Elems:    model.NormalizeElems(elems),
+			})
+			continue
+		}
+		out = append(out, seededQuery(rng, c, span, extent, numElems))
+	}
+	return out
+}

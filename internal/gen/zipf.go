@@ -1,0 +1,66 @@
+// Package gen generates the synthetic datasets and query workloads of the
+// paper's evaluation (Section 5.1, Tables 3 and 4): zipfian interval
+// durations and element frequencies, normally positioned interval
+// midpoints, and seeded stand-ins for the two real datasets (ECLOG and
+// WIKIPEDIA) whose distributional shape Table 3 documents.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws values in [1, n] with P(k) ∝ k^-alpha via inverse-CDF over a
+// precomputed table. Unlike math/rand's Zipf it supports any alpha > 0
+// (the paper sweeps alpha down to 1.01 and zeta from 1.0, where
+// rand.NewZipf's s > 1 requirement bites).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the sampler for n ranks with the given skew.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += math.Pow(float64(k), -alpha)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw samples a rank in [1, n].
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// ClampedNormal draws from N(mean, stddev) clamped to [lo, hi].
+func ClampedNormal(rng *rand.Rand, mean, stddev, lo, hi float64) float64 {
+	v := rng.NormFloat64()*stddev + mean
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+package hint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/domain"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// Allen's relations must partition all interval pairs: every (i, q) pair
+// stands in exactly one relation.
+func TestRelationsPartitionPairs(t *testing.T) {
+	f := func(a0, a1, b0, b1 int8) bool {
+		i := model.Canon(model.Timestamp(a0), model.Timestamp(a1))
+		q := model.Canon(model.Timestamp(b0), model.Timestamp(b1))
+		r := Classify(i, q)
+		count := 0
+		for _, rel := range Relations() {
+			if rel.Holds(i, q) {
+				count++
+				if rel != r {
+					return false
+				}
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyKnownCases(t *testing.T) {
+	q := model.Interval{Start: 10, End: 20}
+	tests := []struct {
+		i    model.Interval
+		want Relation
+	}{
+		{model.Interval{Start: 10, End: 20}, RelEquals},
+		{model.Interval{Start: 0, End: 5}, RelBefore},
+		{model.Interval{Start: 25, End: 30}, RelAfter},
+		{model.Interval{Start: 0, End: 10}, RelMeets},
+		{model.Interval{Start: 20, End: 30}, RelMetBy},
+		{model.Interval{Start: 5, End: 15}, RelOverlaps},
+		{model.Interval{Start: 15, End: 25}, RelOverlappedBy},
+		{model.Interval{Start: 10, End: 15}, RelStarts},
+		{model.Interval{Start: 10, End: 25}, RelStartedBy},
+		{model.Interval{Start: 12, End: 18}, RelDuring},
+		{model.Interval{Start: 5, End: 25}, RelContains},
+		{model.Interval{Start: 15, End: 20}, RelFinishes},
+		{model.Interval{Start: 5, End: 20}, RelFinishedBy},
+	}
+	seen := map[Relation]bool{}
+	for _, tt := range tests {
+		if got := Classify(tt.i, q); got != tt.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tt.i, q, got, tt.want)
+		}
+		seen[tt.want] = true
+	}
+	if len(seen) != 13 {
+		t.Errorf("test covers %d relations, want all 13", len(seen))
+	}
+	if RelEquals.String() != "equals" || Relation(99).String() != "unknown" {
+		t.Error("String() misbehaved")
+	}
+}
+
+func TestAllenQueryOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	entries := randomEntries(rng, 600, 0, 2047)
+	for _, m := range []int{3, 6, 9} {
+		ix := Build(domain.New(0, 2047, m), entries)
+		for trial := 0; trial < 60; trial++ {
+			q := model.Canon(model.Timestamp(rng.Intn(2048)), model.Timestamp(rng.Intn(2048)))
+			for _, rel := range Relations() {
+				got := canon(ix.AllenQuery(rel, q, nil))
+				var want []model.ObjectID
+				for _, p := range entries {
+					if rel.Holds(p.Interval, q) {
+						want = append(want, p.ID)
+					}
+				}
+				model.SortIDs(want)
+				if !model.EqualIDs(got, want) {
+					t.Fatalf("m=%d rel=%v q=%v: got %d ids, want %d ids", m, rel, q, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestAllenQueryNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	entries := randomEntries(rng, 500, 0, 1023)
+	ix := Build(domain.New(0, 1023, 7), entries)
+	for trial := 0; trial < 40; trial++ {
+		q := model.Canon(model.Timestamp(rng.Intn(1024)), model.Timestamp(rng.Intn(1024)))
+		for _, rel := range Relations() {
+			got := ix.AllenQuery(rel, q, nil)
+			seen := map[model.ObjectID]bool{}
+			for _, id := range got {
+				if seen[id] {
+					t.Fatalf("rel=%v q=%v: duplicate id %d", rel, q, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// Every stored interval must be reported by exactly one relation for any
+// query — the index-level counterpart of the partition property.
+func TestAllenQueryCoversEveryInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	entries := randomEntries(rng, 400, 0, 511)
+	ix := Build(domain.New(0, 511, 6), entries)
+	for trial := 0; trial < 30; trial++ {
+		q := model.Canon(model.Timestamp(rng.Intn(512)), model.Timestamp(rng.Intn(512)))
+		counts := map[model.ObjectID]int{}
+		for _, rel := range Relations() {
+			for _, id := range ix.AllenQuery(rel, q, nil) {
+				counts[id]++
+			}
+		}
+		if len(counts) != len(entries) {
+			t.Fatalf("q=%v: %d of %d intervals reported", q, len(counts), len(entries))
+		}
+		for id, n := range counts {
+			if n != 1 {
+				t.Fatalf("q=%v: id %d reported by %d relations", q, id, n)
+			}
+		}
+	}
+}
+
+func TestAllenQuerySkipsDead(t *testing.T) {
+	entries := []postings.Posting{
+		{ID: 0, Interval: iv(10, 20)},
+		{ID: 1, Interval: iv(10, 20)},
+	}
+	ix := Build(domain.New(0, 63, 4), entries)
+	ix.Delete(entries[0])
+	got := canon(ix.AllenQuery(RelEquals, iv(10, 20), nil))
+	if !model.EqualIDs(got, []model.ObjectID{1}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAllenRangeEquivalence(t *testing.T) {
+	// The union of the nine "overlapping" relations must equal RangeQuery.
+	rng := rand.New(rand.NewSource(34))
+	entries := randomEntries(rng, 500, 0, 1023)
+	ix := Build(domain.New(0, 1023, 8), entries)
+	overlapping := []Relation{
+		RelEquals, RelMeets, RelMetBy, RelOverlaps, RelOverlappedBy,
+		RelStarts, RelStartedBy, RelDuring, RelContains, RelFinishes, RelFinishedBy,
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := model.Canon(model.Timestamp(rng.Intn(1024)), model.Timestamp(rng.Intn(1024)))
+		var union []model.ObjectID
+		for _, rel := range overlapping {
+			union = ix.AllenQuery(rel, q, union)
+		}
+		model.SortIDs(union)
+		want := canon(ix.RangeQuery(q, nil))
+		if !model.EqualIDs(union, want) {
+			t.Fatalf("q=%v: union %d ids, range %d ids", q, len(union), len(want))
+		}
+	}
+}
+
+func TestAllenQueryAfterUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	entries := randomEntries(rng, 300, 0, 1023)
+	ix := Build(domain.New(0, 1023, 6), entries)
+	// Insert fresh intervals and delete a batch, then re-verify every
+	// relation against the live set.
+	var extra []postings.Posting
+	for i := 0; i < 80; i++ {
+		s := model.Timestamp(rng.Intn(1024))
+		e := s + model.Timestamp(rng.Intn(1024-int(s)))
+		p := postings.Posting{ID: model.ObjectID(5000 + i), Interval: iv(s, e)}
+		extra = append(extra, p)
+		ix.Insert(p)
+	}
+	dead := map[model.ObjectID]bool{}
+	for i := 0; i < 60; i++ {
+		victim := entries[rng.Intn(len(entries))]
+		if !dead[victim.ID] {
+			ix.Delete(victim)
+			dead[victim.ID] = true
+		}
+	}
+	var live []postings.Posting
+	for _, p := range entries {
+		if !dead[p.ID] {
+			live = append(live, p)
+		}
+	}
+	live = append(live, extra...)
+	for trial := 0; trial < 20; trial++ {
+		q := model.Canon(model.Timestamp(rng.Intn(1024)), model.Timestamp(rng.Intn(1024)))
+		for _, rel := range Relations() {
+			got := canon(ix.AllenQuery(rel, q, nil))
+			var want []model.ObjectID
+			for _, p := range live {
+				if rel.Holds(p.Interval, q) {
+					want = append(want, p.ID)
+				}
+			}
+			model.SortIDs(want)
+			if !model.EqualIDs(got, want) {
+				t.Fatalf("rel=%v q=%v after updates: got %d, want %d ids", rel, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestRangeQueryTopDownEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	entries := randomEntries(rng, 700, 0, 4095)
+	ix := Build(domain.New(0, 4095, 9), entries)
+	for trial := 0; trial < 200; trial++ {
+		q := model.Canon(model.Timestamp(rng.Intn(4096)), model.Timestamp(rng.Intn(4096)))
+		a := canon(ix.RangeQuery(q, nil))
+		b := canon(ix.RangeQueryTopDown(q, nil))
+		if !model.EqualIDs(a, b) {
+			t.Fatalf("q=%v: bottom-up %d ids, top-down %d ids", q, len(a), len(b))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package itree implements the classic centered interval tree of
+// Edelsbrunner (Section 6.2 of the paper): the textbook main-memory
+// interval index with optimal worst-case guarantees, used here as the
+// baseline HINT is ablated against. Every node stores the intervals
+// containing its center time point, sorted twice (by start and by end),
+// so a range query touches O(log n + k) entries.
+package itree
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// node is one tree level: the intervals containing center, plus subtrees
+// of intervals strictly left/right of it.
+type node struct {
+	center  model.Timestamp
+	byStart []postings.Posting // sorted ascending by Start
+	byEnd   []postings.Posting // sorted ascending by End
+	left    *node
+	right   *node
+}
+
+// Tree is a static centered interval tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Build constructs the tree over the entries (copied into node storage).
+func Build(entries []postings.Posting) *Tree {
+	scratch := append([]postings.Posting(nil), entries...)
+	return &Tree{root: build(scratch), size: len(entries)}
+}
+
+// Len returns the number of indexed intervals.
+func (t *Tree) Len() int { return t.size }
+
+func build(entries []postings.Posting) *node {
+	if len(entries) == 0 {
+		return nil
+	}
+	// Center on the median start for balance.
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].Interval.Start < entries[b].Interval.Start
+	})
+	center := entries[len(entries)/2].Interval.Start
+
+	var here, left, right []postings.Posting
+	for _, p := range entries {
+		switch {
+		case p.Interval.End < center:
+			left = append(left, p)
+		case p.Interval.Start > center:
+			right = append(right, p)
+		default:
+			here = append(here, p)
+		}
+	}
+	n := &node{center: center}
+	n.byStart = append([]postings.Posting(nil), here...)
+	sort.Slice(n.byStart, func(a, b int) bool {
+		return n.byStart[a].Interval.Start < n.byStart[b].Interval.Start
+	})
+	n.byEnd = append([]postings.Posting(nil), here...)
+	sort.Slice(n.byEnd, func(a, b int) bool {
+		return n.byEnd[a].Interval.End < n.byEnd[b].Interval.End
+	})
+	n.left = build(left)
+	n.right = build(right)
+	return n
+}
+
+// RangeQuery appends the ids of all intervals overlapping q.
+func (t *Tree) RangeQuery(q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	return rangeQuery(t.root, q, dst)
+}
+
+func rangeQuery(n *node, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	for n != nil {
+		switch {
+		case q.End < n.center:
+			// Node intervals contain center > q.End, so they overlap q
+			// iff they start at or before q.End: a byStart prefix.
+			cut := sort.Search(len(n.byStart), func(i int) bool {
+				return n.byStart[i].Interval.Start > q.End
+			})
+			for i := 0; i < cut; i++ {
+				dst = append(dst, n.byStart[i].ID)
+			}
+			n = n.left
+		case q.Start > n.center:
+			// Symmetric: a byEnd suffix with End >= q.Start.
+			lo := sort.Search(len(n.byEnd), func(i int) bool {
+				return n.byEnd[i].Interval.End >= q.Start
+			})
+			for i := lo; i < len(n.byEnd); i++ {
+				dst = append(dst, n.byEnd[i].ID)
+			}
+			n = n.right
+		default:
+			// center inside q: every node interval overlaps; both
+			// subtrees may contribute.
+			for i := range n.byStart {
+				dst = append(dst, n.byStart[i].ID)
+			}
+			dst = rangeQuery(n.left, q, dst)
+			n = n.right
+		}
+	}
+	return dst
+}
+
+// Stab returns all intervals containing the time point.
+func (t *Tree) Stab(p model.Timestamp, dst []model.ObjectID) []model.ObjectID {
+	return t.RangeQuery(model.Interval{Start: p, End: p}, dst)
+}
+
+// Height returns the tree height (testing hook for balance).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// SizeBytes estimates resident size (two 16-byte copies per interval plus
+// node overhead).
+func (t *Tree) SizeBytes() int64 {
+	return sizeBytes(t.root)
+}
+
+func sizeBytes(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	total := int64(cap(n.byStart)+cap(n.byEnd))*16 + 80
+	return total + sizeBytes(n.left) + sizeBytes(n.right)
+}

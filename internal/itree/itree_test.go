@@ -1,0 +1,126 @@
+package itree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+func iv(s, e model.Timestamp) model.Interval { return model.Interval{Start: s, End: e} }
+
+func randomEntries(rng *rand.Rand, n int, hi int64) []postings.Posting {
+	out := make([]postings.Posting, n)
+	for i := range out {
+		s := model.Timestamp(rng.Int63n(hi))
+		e := s + model.Timestamp(rng.Int63n(hi/8+1))
+		out[i] = postings.Posting{ID: model.ObjectID(i), Interval: iv(s, e)}
+	}
+	return out
+}
+
+func canon(ids []model.ObjectID) []model.ObjectID {
+	out := append([]model.ObjectID(nil), ids...)
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+func TestRangeQueryOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	entries := randomEntries(rng, 800, 1<<14)
+	tree := Build(entries)
+	if tree.Len() != len(entries) {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for trial := 0; trial < 500; trial++ {
+		q := model.Canon(model.Timestamp(rng.Int63n(1<<14)), model.Timestamp(rng.Int63n(1<<14)))
+		got := canon(tree.RangeQuery(q, nil))
+		var want []model.ObjectID
+		for _, p := range entries {
+			if p.Interval.Overlaps(q) {
+				want = append(want, p.ID)
+			}
+		}
+		model.SortIDs(want)
+		if !model.EqualIDs(got, want) {
+			t.Fatalf("q=%v: got %d ids, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randomEntries(rng, 500, 1<<12)
+	tree := Build(entries)
+	for trial := 0; trial < 100; trial++ {
+		q := model.Canon(model.Timestamp(rng.Int63n(1<<12)), model.Timestamp(rng.Int63n(1<<12)))
+		got := tree.RangeQuery(q, nil)
+		seen := map[model.ObjectID]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestStab(t *testing.T) {
+	entries := []postings.Posting{
+		{ID: 0, Interval: iv(0, 10)},
+		{ID: 1, Interval: iv(5, 15)},
+		{ID: 2, Interval: iv(20, 30)},
+	}
+	tree := Build(entries)
+	got := canon(tree.Stab(7, nil))
+	if !model.EqualIDs(got, []model.ObjectID{0, 1}) {
+		t.Errorf("Stab(7) = %v", got)
+	}
+	if got := tree.Stab(16, nil); len(got) != 0 {
+		t.Errorf("Stab(16) = %v", got)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := Build(nil)
+	if got := empty.RangeQuery(iv(0, 100), nil); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	single := Build([]postings.Posting{{ID: 7, Interval: iv(3, 9)}})
+	if got := canon(single.RangeQuery(iv(0, 100), nil)); len(got) != 1 || got[0] != 7 {
+		t.Errorf("single tree returned %v", got)
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	entries := randomEntries(rng, 4096, 1<<20)
+	tree := Build(entries)
+	// Median-of-starts centering keeps the height logarithmic-ish; allow
+	// a generous constant.
+	if h := tree.Height(); float64(h) > 4*math.Log2(float64(len(entries)))+8 {
+		t.Errorf("height %d too tall for %d entries", h, len(entries))
+	}
+	if tree.SizeBytes() <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+}
+
+func BenchmarkIntervalTreeRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	entries := randomEntries(rng, 100_000, 1<<22)
+	tree := Build(entries)
+	queries := make([]model.Interval, 512)
+	for i := range queries {
+		s := model.Timestamp(rng.Int63n(1 << 22))
+		queries[i] = iv(s, s+4096)
+	}
+	var dst []model.ObjectID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tree.RangeQuery(queries[i%len(queries)], dst[:0])
+	}
+}

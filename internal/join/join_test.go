@@ -1,0 +1,150 @@
+package join
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+func canonPairs(pairs []Pair) []Pair {
+	out := append([]Pair(nil), pairs...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Left != out[b].Left {
+			return out[a].Left < out[b].Left
+		}
+		return out[a].Right < out[b].Right
+	})
+	return out
+}
+
+func equalPairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func nestedLoop(left, right *model.Collection, minShared int) []Pair {
+	var out []Pair
+	for i := range left.Objects {
+		for j := range right.Objects {
+			l, r := &left.Objects[i], &right.Objects[j]
+			if !l.Interval.Overlaps(r.Interval) {
+				continue
+			}
+			if minShared > 0 && SharedElements(l.Elems, r.Elems) < minShared {
+				continue
+			}
+			out = append(out, Pair{Left: l.ID, Right: r.ID})
+		}
+	}
+	return canonPairs(out)
+}
+
+func TestSharedElements(t *testing.T) {
+	tests := []struct {
+		a, b []model.ElemID
+		want int
+	}{
+		{nil, nil, 0},
+		{[]model.ElemID{1}, nil, 0},
+		{[]model.ElemID{1, 2, 3}, []model.ElemID{2, 3, 4}, 2},
+		{[]model.ElemID{1, 2}, []model.ElemID{3, 4}, 0},
+		{[]model.ElemID{1, 2, 3}, []model.ElemID{1, 2, 3}, 3},
+	}
+	for _, tt := range tests {
+		if got := SharedElements(tt.a, tt.b); got != tt.want {
+			t.Errorf("SharedElements(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJoinAgainstNestedLoop(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfgL := testutil.CollectionConfig{N: 120, DomainLo: 0, DomainHi: 3000, Dict: 15, MaxDesc: 5, Seed: seed}
+		cfgR := cfgL
+		cfgR.N = 200
+		cfgR.Seed = seed + 50
+		left := testutil.RandomCollection(cfgL)
+		right := testutil.RandomCollection(cfgR)
+		for _, k := range []int{0, 1, 2, 4} {
+			got := canonPairs(Join(left, right, Config{MinShared: k}))
+			want := nestedLoop(left, right, k)
+			if !equalPairs(got, want) {
+				t.Fatalf("seed %d k=%d: got %d pairs, want %d", seed, k, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinOrientationWithLargerLeft(t *testing.T) {
+	// Left larger than right exercises the flipped path.
+	cfgL := testutil.CollectionConfig{N: 250, DomainLo: 0, DomainHi: 2000, Dict: 10, MaxDesc: 4, Seed: 9}
+	cfgR := cfgL
+	cfgR.N = 60
+	cfgR.Seed = 10
+	left := testutil.RandomCollection(cfgL)
+	right := testutil.RandomCollection(cfgR)
+	got := canonPairs(Join(left, right, Config{MinShared: 1}))
+	want := nestedLoop(left, right, 1)
+	if !equalPairs(got, want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	var empty model.Collection
+	c := testutil.RandomCollection(testutil.DefaultConfig(1))
+	if got := Join(&empty, c, Config{}); got != nil {
+		t.Errorf("empty left gave %v", got)
+	}
+	if got := Join(c, &empty, Config{}); got != nil {
+		t.Errorf("empty right gave %v", got)
+	}
+}
+
+func TestSelfJoinAgainstNestedLoop(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := testutil.CollectionConfig{N: 150, DomainLo: 0, DomainHi: 2500, Dict: 12, MaxDesc: 5, Seed: seed + 20}
+		c := testutil.RandomCollection(cfg)
+		for _, k := range []int{0, 2} {
+			got := canonPairs(SelfJoin(c, Config{MinShared: k}))
+			var want []Pair
+			for i := range c.Objects {
+				for j := i + 1; j < len(c.Objects); j++ {
+					a, b := &c.Objects[i], &c.Objects[j]
+					if !a.Interval.Overlaps(b.Interval) {
+						continue
+					}
+					if k > 0 && SharedElements(a.Elems, b.Elems) < k {
+						continue
+					}
+					want = append(want, Pair{Left: a.ID, Right: b.ID})
+				}
+			}
+			want = canonPairs(want)
+			if !equalPairs(got, want) {
+				t.Fatalf("seed %d k=%d: got %d pairs, want %d", seed, k, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinFixedM(t *testing.T) {
+	cfg := testutil.CollectionConfig{N: 80, DomainLo: 0, DomainHi: 1000, Dict: 8, MaxDesc: 3, Seed: 5}
+	left := testutil.RandomCollection(cfg)
+	cfg.Seed = 6
+	right := testutil.RandomCollection(cfg)
+	a := canonPairs(Join(left, right, Config{MinShared: 1, M: 3}))
+	b := canonPairs(Join(left, right, Config{MinShared: 1, M: 9}))
+	if !equalPairs(a, b) {
+		t.Fatal("join results depend on m")
+	}
+}

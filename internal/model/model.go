@@ -1,0 +1,246 @@
+// Package model defines the data model shared by every index in the
+// repository: time intervals, data objects with descriptive elements, and
+// time-travel IR queries, following Section 2.1 of Rauch & Bouros,
+// "Fast Indexing for Temporal Information Retrieval".
+package model
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Timestamp is a point in the (discrete) time domain. The unit is
+// application-defined: seconds for the real-dataset stand-ins, abstract
+// units for synthetic data.
+type Timestamp = int64
+
+// ObjectID identifies a data object in a collection. IDs are dense and
+// assigned in insertion order, which lets indices keep postings implicitly
+// sorted as objects arrive (Section 5.5 of the paper relies on this).
+type ObjectID uint32
+
+// ElemID identifies a descriptive element (e.g. a term) in the global
+// dictionary.
+type ElemID uint32
+
+// Interval is a closed time interval [Start, End] with Start <= End.
+// It contains every time point t with Start <= t <= End.
+type Interval struct {
+	Start Timestamp
+	End   Timestamp
+}
+
+// NewInterval returns the interval [start, end]. It panics if start > end;
+// use Canon to silently swap instead.
+func NewInterval(start, end Timestamp) Interval {
+	if start > end {
+		panic(fmt.Sprintf("model: invalid interval [%d, %d]", start, end))
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Canon returns the interval with endpoints swapped if necessary so that
+// Start <= End holds.
+func Canon(a, b Timestamp) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Start: a, End: b}
+}
+
+// Valid reports whether Start <= End.
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Duration returns the number of time points covered by the interval.
+func (iv Interval) Duration() int64 { return int64(iv.End-iv.Start) + 1 }
+
+// Contains reports whether the time point t lies inside the interval.
+func (iv Interval) Contains(t Timestamp) bool { return iv.Start <= t && t <= iv.End }
+
+// Overlaps reports whether two closed intervals share at least one time
+// point (the Overlap predicate of Definition 2.1).
+func (iv Interval) Overlaps(other Interval) bool {
+	return other.Start <= iv.End && iv.Start <= other.End
+}
+
+// Intersect returns the common sub-interval of iv and other and whether it
+// is non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	st := iv.Start
+	if other.Start > st {
+		st = other.Start
+	}
+	en := iv.End
+	if other.End < en {
+		en = other.End
+	}
+	if st > en {
+		return Interval{}, false
+	}
+	return Interval{Start: st, End: en}, true
+}
+
+// Union returns the smallest interval covering both iv and other.
+func (iv Interval) Union(other Interval) Interval {
+	st := iv.Start
+	if other.Start < st {
+		st = other.Start
+	}
+	en := iv.End
+	if other.End > en {
+		en = other.End
+	}
+	return Interval{Start: st, End: en}
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Start, iv.End) }
+
+// Object is a data object: an identifier, a lifespan interval and a set of
+// descriptive elements (the <id, [t_st, t_end], d> triple of the paper).
+// Elements is a set: sorted ascending with no duplicates. Use NormalizeElems
+// to establish that invariant on raw input.
+type Object struct {
+	ID       ObjectID
+	Interval Interval
+	Elems    []ElemID
+}
+
+// HasElem reports whether the object's description contains e, using binary
+// search over the sorted Elems slice.
+func (o *Object) HasElem(e ElemID) bool {
+	i := sort.Search(len(o.Elems), func(i int) bool { return o.Elems[i] >= e })
+	return i < len(o.Elems) && o.Elems[i] == e
+}
+
+// ContainsAll reports whether the object's description is a superset of the
+// sorted element set q.
+func (o *Object) ContainsAll(q []ElemID) bool {
+	d := o.Elems
+	for _, e := range q {
+		i := sort.Search(len(d), func(i int) bool { return d[i] >= e })
+		if i == len(d) || d[i] != e {
+			return false
+		}
+		d = d[i+1:]
+	}
+	return true
+}
+
+// NormalizeElems sorts the slice in place and removes duplicates, returning
+// the (possibly shorter) normalized slice.
+func NormalizeElems(elems []ElemID) []ElemID {
+	if len(elems) < 2 {
+		return elems
+	}
+	sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+	w := 1
+	for i := 1; i < len(elems); i++ {
+		if elems[i] != elems[w-1] {
+			elems[w] = elems[i]
+			w++
+		}
+	}
+	return elems[:w]
+}
+
+// Query is a time-travel IR query: an interval of interest plus a set of
+// required elements. An object matches iff its interval overlaps the query
+// interval and its description contains every element in Elems
+// (Definition 2.1).
+type Query struct {
+	Interval Interval
+	Elems    []ElemID
+}
+
+// Matches reports whether object o is an answer to query q.
+func (q *Query) Matches(o *Object) bool {
+	return q.Interval.Overlaps(o.Interval) && o.ContainsAll(q.Elems)
+}
+
+// Collection is an ordered set of objects over a shared dictionary. Object
+// IDs equal their position in Objects; AppendObject maintains that.
+type Collection struct {
+	Objects []Object
+	// DictSize is the number of distinct element ids in use
+	// (ids are drawn from [0, DictSize)).
+	DictSize int
+}
+
+// AppendObject adds an object to the collection, assigning the next dense
+// ObjectID, normalizing its element set and growing DictSize as needed.
+// It returns the assigned id.
+func (c *Collection) AppendObject(iv Interval, elems []ElemID) ObjectID {
+	id := ObjectID(len(c.Objects))
+	elems = NormalizeElems(elems)
+	for _, e := range elems {
+		if int(e) >= c.DictSize {
+			c.DictSize = int(e) + 1
+		}
+	}
+	c.Objects = append(c.Objects, Object{ID: id, Interval: iv, Elems: elems})
+	return id
+}
+
+// Len returns the number of objects in the collection.
+func (c *Collection) Len() int { return len(c.Objects) }
+
+// Span returns the smallest interval covering every object lifespan, or
+// false when the collection is empty.
+func (c *Collection) Span() (Interval, bool) {
+	if len(c.Objects) == 0 {
+		return Interval{}, false
+	}
+	span := c.Objects[0].Interval
+	for _, o := range c.Objects[1:] {
+		span = span.Union(o.Interval)
+	}
+	return span, true
+}
+
+// ElemFreqs returns the number of objects containing each element,
+// indexed by ElemID.
+func (c *Collection) ElemFreqs() []int {
+	freqs := make([]int, c.DictSize)
+	for i := range c.Objects {
+		for _, e := range c.Objects[i].Elems {
+			freqs[e]++
+		}
+	}
+	return freqs
+}
+
+// SortIDs sorts a slice of object ids ascending in place. slices.Sort is
+// allocation-free, which matters because several query paths sort
+// candidate buffers per division.
+func SortIDs(ids []ObjectID) {
+	slices.Sort(ids)
+}
+
+// DedupIDs removes duplicates from a sorted id slice, in place.
+func DedupIDs(ids []ObjectID) []ObjectID {
+	if len(ids) < 2 {
+		return ids
+	}
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// EqualIDs reports whether two id slices are element-wise equal.
+func EqualIDs(a, b []ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

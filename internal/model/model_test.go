@@ -1,0 +1,231 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalOverlaps(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"disjoint before", Interval{0, 5}, Interval{6, 10}, false},
+		{"disjoint after", Interval{6, 10}, Interval{0, 5}, false},
+		{"touching endpoints", Interval{0, 5}, Interval{5, 10}, true},
+		{"contained", Interval{0, 10}, Interval{3, 4}, true},
+		{"containing", Interval{3, 4}, Interval{0, 10}, true},
+		{"partial left", Interval{0, 7}, Interval{5, 10}, true},
+		{"partial right", Interval{5, 10}, Interval{0, 7}, true},
+		{"identical", Interval{2, 9}, Interval{2, 9}, true},
+		{"point vs point equal", Interval{4, 4}, Interval{4, 4}, true},
+		{"point vs point diff", Interval{4, 4}, Interval{5, 5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("Overlaps(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Errorf("Overlaps is not symmetric for %v, %v", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestOverlapsMatchesIntersect(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := Canon(Timestamp(a0), Timestamp(a1))
+		b := Canon(Timestamp(b0), Timestamp(b1))
+		_, ok := a.Intersect(b)
+		return ok == a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(3, 9)
+	if !iv.Valid() {
+		t.Fatal("interval should be valid")
+	}
+	if iv.Duration() != 7 {
+		t.Errorf("Duration = %d, want 7", iv.Duration())
+	}
+	if !iv.Contains(3) || !iv.Contains(9) || iv.Contains(10) || iv.Contains(2) {
+		t.Error("Contains endpoints misbehaved")
+	}
+	if got := iv.Union(Interval{0, 4}); got != (Interval{0, 9}) {
+		t.Errorf("Union = %v", got)
+	}
+	in, ok := iv.Intersect(Interval{7, 20})
+	if !ok || in != (Interval{7, 9}) {
+		t.Errorf("Intersect = %v, %v", in, ok)
+	}
+	if iv.String() != "[3, 9]" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestNewIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInterval(5, 2) should panic")
+		}
+	}()
+	NewInterval(5, 2)
+}
+
+func TestCanonSwaps(t *testing.T) {
+	if got := Canon(9, 2); got != (Interval{2, 9}) {
+		t.Errorf("Canon(9,2) = %v", got)
+	}
+	if got := Canon(2, 9); got != (Interval{2, 9}) {
+		t.Errorf("Canon(2,9) = %v", got)
+	}
+}
+
+func TestNormalizeElems(t *testing.T) {
+	tests := []struct {
+		in, want []ElemID
+	}{
+		{nil, nil},
+		{[]ElemID{5}, []ElemID{5}},
+		{[]ElemID{3, 1, 2}, []ElemID{1, 2, 3}},
+		{[]ElemID{2, 2, 2}, []ElemID{2}},
+		{[]ElemID{4, 1, 4, 1, 9}, []ElemID{1, 4, 9}},
+	}
+	for _, tt := range tests {
+		got := NormalizeElems(append([]ElemID(nil), tt.in...))
+		if len(got) != len(tt.want) {
+			t.Fatalf("NormalizeElems(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("NormalizeElems(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestObjectContainsAll(t *testing.T) {
+	o := Object{Elems: []ElemID{1, 3, 5, 7}}
+	tests := []struct {
+		q    []ElemID
+		want bool
+	}{
+		{nil, true},
+		{[]ElemID{1}, true},
+		{[]ElemID{7}, true},
+		{[]ElemID{1, 7}, true},
+		{[]ElemID{1, 3, 5, 7}, true},
+		{[]ElemID{2}, false},
+		{[]ElemID{1, 2}, false},
+		{[]ElemID{0, 1}, false},
+		{[]ElemID{7, 8}, false},
+	}
+	for _, tt := range tests {
+		if got := o.ContainsAll(tt.q); got != tt.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !o.HasElem(5) || o.HasElem(4) {
+		t.Error("HasElem misbehaved")
+	}
+}
+
+func TestQueryMatches(t *testing.T) {
+	o := Object{Interval: Interval{10, 20}, Elems: []ElemID{1, 2}}
+	q := Query{Interval: Interval{15, 25}, Elems: []ElemID{1}}
+	if !q.Matches(&o) {
+		t.Error("expected match")
+	}
+	q2 := Query{Interval: Interval{21, 25}, Elems: []ElemID{1}}
+	if q2.Matches(&o) {
+		t.Error("temporal mismatch should fail")
+	}
+	q3 := Query{Interval: Interval{15, 25}, Elems: []ElemID{3}}
+	if q3.Matches(&o) {
+		t.Error("element mismatch should fail")
+	}
+}
+
+func TestCollectionAppendAndSpan(t *testing.T) {
+	var c Collection
+	if _, ok := c.Span(); ok {
+		t.Error("empty collection should have no span")
+	}
+	id0 := c.AppendObject(Interval{5, 10}, []ElemID{2, 0, 2})
+	id1 := c.AppendObject(Interval{1, 3}, []ElemID{4})
+	if id0 != 0 || id1 != 1 {
+		t.Errorf("ids = %d, %d", id0, id1)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.DictSize != 5 {
+		t.Errorf("DictSize = %d, want 5", c.DictSize)
+	}
+	if got := c.Objects[0].Elems; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("elems not normalized: %v", got)
+	}
+	span, ok := c.Span()
+	if !ok || span != (Interval{1, 10}) {
+		t.Errorf("Span = %v, %v", span, ok)
+	}
+}
+
+func TestElemFreqs(t *testing.T) {
+	var c Collection
+	c.AppendObject(Interval{0, 1}, []ElemID{0, 1})
+	c.AppendObject(Interval{0, 1}, []ElemID{1, 2})
+	c.AppendObject(Interval{0, 1}, []ElemID{1})
+	freqs := c.ElemFreqs()
+	want := []int{1, 3, 1}
+	for i := range want {
+		if freqs[i] != want[i] {
+			t.Errorf("freqs[%d] = %d, want %d", i, freqs[i], want[i])
+		}
+	}
+}
+
+func TestSortDedupEqualIDs(t *testing.T) {
+	ids := []ObjectID{5, 1, 5, 3, 1}
+	SortIDs(ids)
+	ids = DedupIDs(ids)
+	want := []ObjectID{1, 3, 5}
+	if !EqualIDs(ids, want) {
+		t.Errorf("got %v, want %v", ids, want)
+	}
+	if EqualIDs(ids, []ObjectID{1, 3}) || EqualIDs(ids, []ObjectID{1, 3, 6}) {
+		t.Error("EqualIDs false positives")
+	}
+}
+
+func TestDedupIDsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		ids := make([]ObjectID, n)
+		for i := range ids {
+			ids[i] = ObjectID(rng.Intn(20))
+		}
+		SortIDs(ids)
+		out := DedupIDs(append([]ObjectID(nil), ids...))
+		seen := map[ObjectID]bool{}
+		for _, id := range ids {
+			seen[id] = true
+		}
+		if len(out) != len(seen) {
+			t.Fatalf("dedup length %d, want %d", len(out), len(seen))
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				t.Fatalf("not strictly increasing: %v", out)
+			}
+		}
+	}
+}

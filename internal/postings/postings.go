@@ -1,0 +1,154 @@
+// Package postings provides the shared postings-list machinery of the
+// IR-first indices: time-aware postings entries, id-sorted list operations
+// (merge and binary-search intersections), and the reference-value
+// de-duplication technique of Dittrich & Seeger that the paper uses for all
+// sliced structures.
+package postings
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Tombstone is the sentinel interval that marks a logically deleted entry
+// (Section 5.5: deletions are logical, entries are located and flagged).
+// The sentinel overlaps no real interval, so every comparison-based path
+// skips it for free; bulk "no comparison" paths must test IsTombstone.
+var Tombstone = model.Interval{Start: math.MaxInt64, End: math.MinInt64}
+
+// IsTombstone reports whether an interval is the deletion sentinel.
+func IsTombstone(iv model.Interval) bool {
+	return iv.Start == math.MaxInt64 && iv.End == math.MinInt64
+}
+
+// DeadBit flags a logically deleted entry in structures sorted by time,
+// where rewriting the interval (as the Tombstone sentinel does) would break
+// the sort order. Object ids must stay below 2^31.
+const DeadBit model.ObjectID = 1 << 31
+
+// MarkDead sets the dead bit on an id.
+func MarkDead(id model.ObjectID) model.ObjectID { return id | DeadBit }
+
+// IsDead reports whether the dead bit is set.
+func IsDead(id model.ObjectID) bool { return id&DeadBit != 0 }
+
+// LiveID strips the dead bit.
+func LiveID(id model.ObjectID) model.ObjectID { return id &^ DeadBit }
+
+// Posting is one entry of a time-aware postings list: the object id plus
+// its lifespan (the <o.id, [o.t_st, o.t_end]> pair of Section 2.2).
+type Posting struct {
+	ID       model.ObjectID
+	Interval model.Interval
+}
+
+// List is a postings list ordered by ascending object id, the standard IR
+// layout enabling merge intersections.
+type List []Posting
+
+// Append adds an entry; callers append ids in increasing order (dense ids
+// assigned in arrival order keep this free, as the paper notes for
+// updates). Use Sort after out-of-order construction.
+func (l *List) Append(p Posting) { *l = append(*l, p) }
+
+// Sort re-establishes the id order after bulk loading.
+func (l List) Sort() {
+	sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+}
+
+// IsSorted reports whether the list is in ascending id order.
+func (l List) IsSorted() bool {
+	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+}
+
+// FindID returns the position of id in the list and whether it is present.
+func (l List) FindID(id model.ObjectID) (int, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].ID >= id })
+	return i, i < len(l) && l[i].ID == id
+}
+
+// TemporalFilter appends to dst the ids of entries whose interval overlaps
+// q, preserving id order, and returns dst. This is the Lines 4-6 filter of
+// Algorithm 1.
+func (l List) TemporalFilter(q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	for i := range l {
+		if l[i].Interval.Overlaps(q) {
+			dst = append(dst, l[i].ID)
+		}
+	}
+	return dst
+}
+
+// IntersectIDs merges a sorted candidate id slice with the list, returning
+// the ids present in both (ascending). This is the merge-sort intersection
+// of Algorithm 1 Line 8.
+func (l List) IntersectIDs(cands []model.ObjectID, dst []model.ObjectID) []model.ObjectID {
+	i, j := 0, 0
+	for i < len(cands) && j < len(l) {
+		switch {
+		case cands[i] < l[j].ID:
+			i++
+		case cands[i] > l[j].ID:
+			j++
+		default:
+			dst = append(dst, cands[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectSortedIDs merge-intersects two ascending id slices.
+func IntersectSortedIDs(a, b, dst []model.ObjectID) []model.ObjectID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// ContainsSorted reports whether id occurs in the ascending slice ids,
+// using binary search. Shared by the binary-search intersection variants.
+func ContainsSorted(ids []model.ObjectID, id model.ObjectID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+// MergeSortedIDLists k-way merges already-sorted id slices into one sorted,
+// deduplicated slice. Used to combine per-slice candidate outputs.
+func MergeSortedIDLists(lists [][]model.ObjectID) []model.ObjectID {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]model.ObjectID, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// RefValue returns the reference time point of an object replicated across
+// slices: max(o.t_st, q.t_st). Under the reference-value method [25] the
+// object is reported only from the slice containing this point, which both
+// interval (the object's, clipped to the query) spans, guaranteeing exactly
+// one report without hashing.
+func RefValue(objStart, queryStart model.Timestamp) model.Timestamp {
+	if objStart > queryStart {
+		return objStart
+	}
+	return queryStart
+}

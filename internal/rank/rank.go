@@ -1,0 +1,147 @@
+// Package rank adds relevance-ranked (top-k) time-travel IR search on top
+// of any containment index — the extension the paper names as future work
+// ("find the most relevant objects overlapping the query time interval",
+// Section 7). Candidate generation reuses a containment index; scoring
+// combines element rarity (IDF, the natural weight under the paper's set
+// semantics where term frequency is always 0/1) with temporal overlap.
+package rank
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Scorer computes relevance scores for candidate objects.
+type Scorer struct {
+	idf            []float64
+	n              int
+	temporalWeight float64
+}
+
+// ScorerConfig tunes the scoring function.
+type ScorerConfig struct {
+	// TemporalWeight in (0, 1] balances the temporal-overlap component
+	// against the IDF component. Zero (or out-of-range) selects the
+	// default 0.3; set DisableTemporal for a pure-IDF scorer instead.
+	TemporalWeight float64
+	// DisableTemporal scores by IDF only.
+	DisableTemporal bool
+}
+
+// NewScorer precomputes IDF weights from the collection's element
+// frequencies: idf(e) = ln(1 + N/df(e)).
+func NewScorer(c *model.Collection, cfg ScorerConfig) *Scorer {
+	if cfg.TemporalWeight <= 0 || cfg.TemporalWeight > 1 {
+		cfg.TemporalWeight = 0.3
+	}
+	if cfg.DisableTemporal {
+		cfg.TemporalWeight = 0
+	}
+	freqs := c.ElemFreqs()
+	s := &Scorer{idf: make([]float64, len(freqs)), n: c.Len(), temporalWeight: cfg.TemporalWeight}
+	for e, f := range freqs {
+		if f > 0 {
+			s.idf[e] = math.Log1p(float64(s.n) / float64(f))
+		}
+	}
+	return s
+}
+
+// IDF returns the precomputed weight of an element.
+func (s *Scorer) IDF(e model.ElemID) float64 {
+	if int(e) >= len(s.idf) {
+		return 0
+	}
+	return s.idf[e]
+}
+
+// Score rates one object against a query. The IDF component sums the
+// weights of the query elements (all contained, by the containment
+// semantics); the temporal component is the fraction of the query
+// interval the object's lifespan covers. Both are normalized to [0, 1]
+// before mixing so scores are comparable across queries.
+func (s *Scorer) Score(o *model.Object, q *model.Query) float64 {
+	var idfSum float64
+	for _, e := range q.Elems {
+		idfSum += s.IDF(e)
+	}
+	idfComponent := 0.0
+	if idfMax := math.Log1p(float64(s.n)); len(q.Elems) > 0 && idfMax > 0 {
+		idfComponent = idfSum / (idfMax * float64(len(q.Elems)))
+	}
+	overlap, ok := o.Interval.Intersect(q.Interval)
+	temporal := 0.0
+	if ok {
+		temporal = float64(overlap.Duration()) / float64(q.Interval.Duration())
+	}
+	return (1-s.temporalWeight)*idfComponent + s.temporalWeight*temporal
+}
+
+// Result is one ranked hit.
+type Result struct {
+	ID    model.ObjectID
+	Score float64
+}
+
+// resultHeap is a min-heap on score (ties broken by larger id first so
+// the final ascending-id tiebreak pops correctly), keeping the best k.
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(a, b int) bool {
+	if h[a].Score != h[b].Score {
+		return h[a].Score < h[b].Score
+	}
+	return h[a].ID > h[b].ID
+}
+func (h resultHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ContainmentIndex is the candidate source — any index of the family.
+type ContainmentIndex interface {
+	Query(q model.Query) []model.ObjectID
+}
+
+// TopK returns the k highest-scoring objects matching q, ordered by
+// descending score (ascending id on ties). Candidates come from the
+// containment index; the collection supplies the object records.
+func TopK(ix ContainmentIndex, c *model.Collection, s *Scorer, q model.Query, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	h := make(resultHeap, 0, k)
+	for _, id := range ix.Query(q) {
+		o := &c.Objects[id]
+		r := Result{ID: id, Score: s.Score(o, &q)}
+		if len(h) < k {
+			heap.Push(&h, r)
+			continue
+		}
+		if r.Score > h[0].Score || (r.Score == h[0].Score && r.ID < h[0].ID) {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	// Pops yield ascending score; out is descending. Normalize ties.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,235 @@
+// Package server exposes a temporalir Engine over HTTP/JSON — the
+// "search interface to multiple users simultaneously" deployment the
+// paper's throughput metric models (public archives, footnote 11).
+// Reads run concurrently against the index; updates serialize behind a
+// single writer lock, matching the library's concurrency contract.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	temporalir "repro"
+	"repro/internal/textutil"
+)
+
+// Server is an http.Handler serving one engine.
+type Server struct {
+	mu     sync.RWMutex
+	engine *temporalir.Engine
+	mux    *http.ServeMux
+}
+
+// New wraps an engine. The engine must not be mutated elsewhere while the
+// server is live.
+func New(engine *temporalir.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("POST /objects", s.handleInsert)
+	s.mux.HandleFunc("GET /objects/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// objectJSON is the wire form of an object.
+type objectJSON struct {
+	ID    temporalir.ObjectID  `json:"id"`
+	Start temporalir.Timestamp `json:"start"`
+	End   temporalir.Timestamp `json:"end"`
+	Terms []string             `json:"terms"`
+}
+
+// searchHit is one ranked or unranked result row.
+type searchHit struct {
+	ID    temporalir.ObjectID `json:"id"`
+	Score *float64            `json:"score,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSearch answers GET /search?start=S&end=E&q=TERMS[&k=K].
+// q is free text, tokenized and normalized like inserted documents.
+// Without k the full containment result is returned; with k the top-k
+// ranked results with scores.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start, err := parseTS(r.URL.Query().Get("start"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad start: %v", err)
+		return
+	}
+	end, err := parseTS(r.URL.Query().Get("end"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad end: %v", err)
+		return
+	}
+	terms := textutil.Tokenize(r.URL.Query().Get("q"), textutil.Options{})
+	if len(terms) == 0 {
+		writeError(w, http.StatusBadRequest, "q must contain at least one indexable term")
+		return
+	}
+	var k int
+	if kRaw := r.URL.Query().Get("k"); kRaw != "" {
+		k, err = strconv.Atoi(kRaw)
+		if err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "bad k: %q", kRaw)
+			return
+		}
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var hits []searchHit
+	if k > 0 {
+		for _, res := range s.engine.SearchTopK(start, end, k, terms...) {
+			score := res.Score
+			hits = append(hits, searchHit{ID: res.ID, Score: &score})
+		}
+	} else {
+		for _, id := range s.engine.Search(start, end, terms...) {
+			hits = append(hits, searchHit{ID: id})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(hits), "hits": hits})
+}
+
+// handleInsert answers POST /objects with an objectJSON body (id ignored).
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var in objectJSON
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if in.Start > in.End {
+		writeError(w, http.StatusBadRequest, "start %d > end %d", in.Start, in.End)
+		return
+	}
+	var terms []string
+	for _, t := range in.Terms {
+		terms = append(terms, textutil.Tokenize(t, textutil.Options{})...)
+	}
+	if len(terms) == 0 {
+		writeError(w, http.StatusBadRequest, "no indexable terms")
+		return
+	}
+	s.mu.Lock()
+	id := s.engine.Insert(in.Start, in.End, terms...)
+	s.engine.RefreshScorer()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+}
+
+// handleGet answers GET /objects/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	iv, terms, err := s.engine.Object(id)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, objectJSON{ID: id, Start: iv.Start, End: iv.End, Terms: terms})
+}
+
+// handleDelete answers DELETE /objects/{id}.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	err = s.engine.Delete(id)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// handleTimeline answers GET /timeline?start=S&end=E&q=TERMS&buckets=N:
+// a temporal histogram of the matching objects.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	start, err := parseTS(r.URL.Query().Get("start"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad start: %v", err)
+		return
+	}
+	end, err := parseTS(r.URL.Query().Get("end"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad end: %v", err)
+		return
+	}
+	terms := textutil.Tokenize(r.URL.Query().Get("q"), textutil.Options{})
+	if len(terms) == 0 {
+		writeError(w, http.StatusBadRequest, "q must contain at least one indexable term")
+		return
+	}
+	buckets := 10
+	if raw := r.URL.Query().Get("buckets"); raw != "" {
+		buckets, err = strconv.Atoi(raw)
+		if err != nil || buckets < 1 || buckets > 10000 {
+			writeError(w, http.StatusBadRequest, "bad buckets: %q", raw)
+			return
+		}
+	}
+	s.mu.RLock()
+	tl := s.engine.Timeline(start, end, buckets, terms...)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"buckets": tl})
+}
+
+// handleStats answers GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"method":     string(s.engine.Method()),
+		"objects":    s.engine.Len(),
+		"size_bytes": s.engine.SizeBytes(),
+	})
+}
+
+func parseTS(raw string) (temporalir.Timestamp, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing")
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not an integer timestamp: %q", raw)
+	}
+	return v, nil
+}
+
+func parseID(raw string) (temporalir.ObjectID, error) {
+	raw = strings.TrimSpace(raw)
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad object id %q", raw)
+	}
+	return temporalir.ObjectID(v), nil
+}

@@ -1,0 +1,54 @@
+package sharding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+// Property: any shard budget (including unlimited), any workload shape,
+// any query — results equal the oracle.
+func TestShardingQuick(t *testing.T) {
+	f := func(budgetRaw uint8, seed int64, q0, q1 uint16, e0 uint8) bool {
+		budget := int(budgetRaw % 20) // 0 = unlimited ideal shards
+		cfg := testutil.CollectionConfig{N: 120, DomainLo: 0, DomainHi: 3000, Dict: 15, MaxDesc: 4, Seed: seed}
+		c := testutil.RandomCollection(cfg)
+		ix := New(c, WithMaxShards(budget))
+		oracle := bruteforce.New(c)
+		q := model.Query{
+			Interval: model.Canon(model.Timestamp(q0)%3001, model.Timestamp(q1)%3001),
+			Elems:    []model.ElemID{model.ElemID(e0) % 15},
+		}
+		return model.EqualIDs(testutil.Canonical(ix.Query(q)), testutil.Canonical(oracle.Query(q)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sharding never replicates — entries equal total postings.
+func TestNoReplicationQuick(t *testing.T) {
+	f := func(budgetRaw uint8, seed int64) bool {
+		budget := int(budgetRaw % 10)
+		cfg := testutil.CollectionConfig{N: 90, DomainLo: 0, DomainHi: 1500, Dict: 8, MaxDesc: 4, Seed: seed}
+		c := testutil.RandomCollection(cfg)
+		ix := New(c, WithMaxShards(budget))
+		want := 0
+		for i := range c.Objects {
+			want += len(c.Objects[i].Elems)
+		}
+		got := 0
+		for e := range ix.shards {
+			for i := range ix.shards[e] {
+				got += len(ix.shards[e][i].entries)
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package sharding implements tIF+Sharding, the temporal inverted file of
+// Anand et al. (Section 2.2): every postings list is horizontally grouped
+// into shards ordered by interval start. Ideal shards also satisfy the
+// staircase property (non-decreasing ends), which makes both boundaries of
+// the temporally qualifying range binary-searchable; a cost-aware merge
+// step then caps the shard count per list, trading the staircase guarantee
+// of the merged shards for fewer probes. No entry is ever replicated, so
+// no result de-duplication is needed.
+package sharding
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// shard holds postings sorted by interval start. ideal marks shards that
+// still satisfy the staircase property, enabling the second binary search.
+type shard struct {
+	entries []postings.Posting // sorted by Interval.Start
+	ideal   bool
+}
+
+// lastEnd returns the End of the most recently appended entry.
+func (s *shard) lastEnd() model.Timestamp {
+	return s.entries[len(s.entries)-1].Interval.End
+}
+
+// Index is the tIF+Sharding index.
+type Index struct {
+	maxShards int
+	shards    [][]shard // per element
+	freqs     []int
+	live      int
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	maxShards int
+}
+
+// DefaultMaxShards caps the shards per postings list after cost-aware
+// merging. Anand et al. observe that the number of ideal shards can be
+// overwhelming; a small two-digit budget retains most of the pruning.
+const DefaultMaxShards = 16
+
+// WithMaxShards sets the per-list shard budget (0 keeps every ideal shard).
+func WithMaxShards(n int) Option {
+	return func(c *config) { c.maxShards = n }
+}
+
+// New builds a tIF+Sharding index over a collection.
+func New(c *model.Collection, opts ...Option) *Index {
+	cfg := config{maxShards: DefaultMaxShards}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ix := &Index{
+		maxShards: cfg.maxShards,
+		shards:    make([][]shard, c.DictSize),
+		freqs:     make([]int, c.DictSize),
+	}
+	// Bulk build: group postings per element, then shard each list.
+	lists := make([][]postings.Posting, c.DictSize)
+	for i := range c.Objects {
+		o := &c.Objects[i]
+		for _, e := range o.Elems {
+			lists[e] = append(lists[e], postings.Posting{ID: o.ID, Interval: o.Interval})
+			ix.freqs[e]++
+		}
+		ix.live++
+	}
+	for e := range lists {
+		ix.shards[e] = buildShards(lists[e], cfg.maxShards)
+	}
+	return ix
+}
+
+// buildShards sorts postings by start, assigns them greedily to the first
+// shard whose last end does not exceed the entry's end (producing ideal
+// staircase shards), then merges down to the budget.
+func buildShards(list []postings.Posting, budget int) []shard {
+	if len(list) == 0 {
+		return nil
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Interval.Start != list[j].Interval.Start {
+			return list[i].Interval.Start < list[j].Interval.Start
+		}
+		return list[i].Interval.End < list[j].Interval.End
+	})
+	var shards []shard
+	for _, p := range list {
+		placed := false
+		for i := range shards {
+			if shards[i].lastEnd() <= p.Interval.End {
+				shards[i].entries = append(shards[i].entries, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			shards = append(shards, shard{entries: []postings.Posting{p}, ideal: true})
+		}
+	}
+	return mergeShards(shards, budget)
+}
+
+// mergeShards performs the cost-aware merging of Anand et al.: while over
+// budget, merge the two smallest shards (the cheapest extra scan cost),
+// re-sorting by start. Merged shards lose the staircase property.
+func mergeShards(shards []shard, budget int) []shard {
+	if budget <= 0 {
+		return shards
+	}
+	for len(shards) > budget {
+		a, b := smallestTwo(shards)
+		merged := append(shards[a].entries, shards[b].entries...)
+		sort.Slice(merged, func(i, j int) bool {
+			return merged[i].Interval.Start < merged[j].Interval.Start
+		})
+		shards[a] = shard{entries: merged, ideal: false}
+		shards = append(shards[:b], shards[b+1:]...)
+	}
+	return shards
+}
+
+func smallestTwo(shards []shard) (a, b int) {
+	a, b = 0, 1
+	if len(shards[b].entries) < len(shards[a].entries) {
+		a, b = b, a
+	}
+	for i := 2; i < len(shards); i++ {
+		n := len(shards[i].entries)
+		if n < len(shards[a].entries) {
+			b = a
+			a = i
+		} else if n < len(shards[b].entries) {
+			b = i
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// Insert adds the object to each element's shard set with a positioned
+// insert that preserves start order. It prefers a shard where the
+// staircase property survives (predecessor end <= o.end <= successor
+// end); failing that, the smallest shard takes the entry and drops its
+// ideal flag. No shard is ever created or re-merged on the update path —
+// the cost-aware budget only matters at bulk build.
+func (ix *Index) Insert(o model.Object) {
+	for _, e := range o.Elems {
+		ix.growTo(int(e) + 1)
+		p := postings.Posting{ID: o.ID, Interval: o.Interval}
+		if len(ix.shards[e]) == 0 {
+			ix.shards[e] = []shard{{entries: []postings.Posting{p}, ideal: true}}
+			ix.freqs[e]++
+			continue
+		}
+		target, pos := -1, 0
+		smallest := 0
+		for i := range ix.shards[e] {
+			s := &ix.shards[e][i]
+			if len(s.entries) < len(ix.shards[e][smallest].entries) {
+				smallest = i
+			}
+			k := sort.Search(len(s.entries), func(k int) bool {
+				return s.entries[k].Interval.Start > p.Interval.Start
+			})
+			if !s.ideal {
+				continue
+			}
+			if k > 0 && s.entries[k-1].Interval.End > p.Interval.End {
+				continue
+			}
+			if k < len(s.entries) && s.entries[k].Interval.End < p.Interval.End {
+				continue
+			}
+			target, pos = i, k
+			break
+		}
+		if target == -1 {
+			target = smallest
+			s := &ix.shards[e][target]
+			pos = sort.Search(len(s.entries), func(k int) bool {
+				return s.entries[k].Interval.Start > p.Interval.Start
+			})
+			s.ideal = false
+		}
+		s := &ix.shards[e][target]
+		s.entries = append(s.entries, postings.Posting{})
+		copy(s.entries[pos+1:], s.entries[pos:])
+		s.entries[pos] = p
+		ix.freqs[e]++
+	}
+	ix.live++
+}
+
+func (ix *Index) growTo(n int) {
+	for len(ix.shards) < n {
+		ix.shards = append(ix.shards, nil)
+		ix.freqs = append(ix.freqs, 0)
+	}
+}
+
+// Delete locates the object's entry in every shard of its element lists
+// (binary search on start, then a scan over the equal-start run) and sets
+// the dead bit, preserving the start order the impact probes rely on.
+func (ix *Index) Delete(o model.Object) {
+	found := false
+	for _, e := range o.Elems {
+		if int(e) >= len(ix.shards) {
+			continue
+		}
+		hit := false
+		for i := range ix.shards[e] {
+			s := &ix.shards[e][i]
+			lo := sort.Search(len(s.entries), func(k int) bool {
+				return s.entries[k].Interval.Start >= o.Interval.Start
+			})
+			for k := lo; k < len(s.entries) && s.entries[k].Interval.Start == o.Interval.Start; k++ {
+				if postings.LiveID(s.entries[k].ID) == o.ID && !postings.IsDead(s.entries[k].ID) {
+					s.entries[k].ID = postings.MarkDead(s.entries[k].ID)
+					hit = true
+				}
+			}
+		}
+		if hit {
+			ix.freqs[e]--
+			found = true
+		}
+	}
+	if found {
+		ix.live--
+	}
+}
+
+// Len returns the number of live objects.
+func (ix *Index) Len() int { return ix.live }
+
+// gather appends the ids of live entries of element e whose interval
+// overlaps q, probing each shard: binary search the start cutoff (entries
+// starting after q.end cannot qualify — the impact-list probe), and for
+// ideal shards also binary search the first qualifying end.
+func (ix *Index) gather(e model.ElemID, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	if int(e) >= len(ix.shards) {
+		return dst
+	}
+	for i := range ix.shards[e] {
+		s := &ix.shards[e][i]
+		cut := sort.Search(len(s.entries), func(k int) bool {
+			return s.entries[k].Interval.Start > q.End
+		})
+		lo := 0
+		if s.ideal {
+			// Staircase: ends are non-decreasing, so qualifying entries
+			// form the suffix with End >= q.Start.
+			lo = sort.Search(cut, func(k int) bool {
+				return s.entries[k].Interval.End >= q.Start
+			})
+			for k := lo; k < cut; k++ {
+				if !postings.IsDead(s.entries[k].ID) {
+					dst = append(dst, s.entries[k].ID)
+				}
+			}
+			continue
+		}
+		for k := lo; k < cut; k++ {
+			if s.entries[k].Interval.End >= q.Start && !postings.IsDead(s.entries[k].ID) {
+				dst = append(dst, s.entries[k].ID)
+			}
+		}
+	}
+	return dst
+}
+
+// Query evaluates a time-travel IR query: gather temporally qualifying ids
+// per element in ascending frequency order and intersect the id sets.
+// Shards are start-ordered, so each gathered set is sorted before merging.
+func (ix *Index) Query(q model.Query) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		var out []model.ObjectID
+		for e := range ix.shards {
+			out = ix.gather(model.ElemID(e), q.Interval, out)
+		}
+		model.SortIDs(out)
+		return model.DedupIDs(out)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	cands := ix.gather(plan[0], q.Interval, nil)
+	model.SortIDs(cands)
+	var buf []model.ObjectID
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		buf = ix.gather(e, q.Interval, buf[:0])
+		model.SortIDs(buf)
+		cands = postings.IntersectSortedIDs(cands, buf, cands[:0])
+	}
+	return cands
+}
+
+// SizeBytes estimates resident size: 16-byte entries (no replication) plus
+// shard headers.
+func (ix *Index) SizeBytes() int64 {
+	var total int64
+	for e := range ix.shards {
+		for i := range ix.shards[e] {
+			total += int64(cap(ix.shards[e][i].entries))*16 + 32
+		}
+	}
+	return total + int64(len(ix.freqs))*8
+}
+
+// ShardCount returns the number of shards for an element (testing hook).
+func (ix *Index) ShardCount(e model.ElemID) int {
+	if int(e) >= len(ix.shards) {
+		return 0
+	}
+	return len(ix.shards[e])
+}
+
+// Ideal reports whether shard i of element e still satisfies the staircase
+// property (testing hook).
+func (ix *Index) Ideal(e model.ElemID, i int) bool { return ix.shards[e][i].ideal }

@@ -1,0 +1,373 @@
+// Package slicing implements tIF+Slicing, the temporal inverted file of
+// Berberich et al. (Section 2.2): the time domain is broken into a fixed
+// number of disjoint slices and every postings list is vertically divided
+// into per-slice sub-lists, replicating an entry into every slice its
+// interval overlaps. Queries touch only the sub-lists of temporally
+// relevant slices; duplicates from replication are suppressed with the
+// reference-value method of Dittrich & Seeger instead of hashing.
+package slicing
+
+import (
+	"repro/internal/dict"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// Index is the tIF+Slicing index.
+type Index struct {
+	numSlices int
+	lo, hi    model.Timestamp
+	width     int64
+	lists     [][][]postings.Posting // [elem][slice] -> id-sorted sub-list
+	freqs     []int
+	live      int
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	numSlices int
+}
+
+// WithSlices fixes the number of time-domain slices. The paper's tuned
+// default after the Figure 8 sweep is 50.
+func WithSlices(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.numSlices = n
+		}
+	}
+}
+
+// DefaultSlices is the slice count the paper settles on after tuning.
+const DefaultSlices = 50
+
+// New builds a tIF+Slicing index over a collection.
+func New(c *model.Collection, opts ...Option) *Index {
+	cfg := config{numSlices: DefaultSlices}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	span, ok := c.Span()
+	if !ok {
+		span = model.Interval{Start: 0, End: 0}
+	}
+	ix := &Index{
+		numSlices: cfg.numSlices,
+		lo:        span.Start,
+		hi:        span.End,
+		lists:     make([][][]postings.Posting, c.DictSize),
+		freqs:     make([]int, c.DictSize),
+	}
+	ix.width = (int64(span.End-span.Start) + int64(cfg.numSlices)) / int64(cfg.numSlices)
+	if ix.width < 1 {
+		ix.width = 1
+	}
+	for i := range c.Objects {
+		ix.Insert(c.Objects[i])
+	}
+	return ix
+}
+
+// NumSlices returns the configured slice count.
+func (ix *Index) NumSlices() int { return ix.numSlices }
+
+// sliceOf maps a timestamp to its slice, clamping values outside the
+// domain the index was built for (late insertions may exceed it; clamped
+// routing keeps query results exact because all comparisons use the
+// original timestamps).
+func (ix *Index) sliceOf(t model.Timestamp) int {
+	if t <= ix.lo {
+		return 0
+	}
+	s := int(int64(t-ix.lo) / ix.width)
+	if s >= ix.numSlices {
+		return ix.numSlices - 1
+	}
+	return s
+}
+
+// Insert replicates the object's postings entry into every slice its
+// interval overlaps, for each of its elements.
+func (ix *Index) Insert(o model.Object) {
+	first, last := ix.sliceOf(o.Interval.Start), ix.sliceOf(o.Interval.End)
+	for _, e := range o.Elems {
+		ix.growTo(int(e) + 1)
+		if ix.lists[e] == nil {
+			ix.lists[e] = make([][]postings.Posting, ix.numSlices)
+		}
+		for s := first; s <= last; s++ {
+			ix.lists[e][s] = append(ix.lists[e][s], postings.Posting{ID: o.ID, Interval: o.Interval})
+		}
+		ix.freqs[e]++
+	}
+	ix.live++
+}
+
+func (ix *Index) growTo(n int) {
+	for len(ix.lists) < n {
+		ix.lists = append(ix.lists, nil)
+		ix.freqs = append(ix.freqs, 0)
+	}
+}
+
+// Delete locates and tombstones the object's entries in every overlapped
+// slice of every element list.
+func (ix *Index) Delete(o model.Object) {
+	first, last := ix.sliceOf(o.Interval.Start), ix.sliceOf(o.Interval.End)
+	found := false
+	for _, e := range o.Elems {
+		if int(e) >= len(ix.lists) || ix.lists[e] == nil {
+			continue
+		}
+		hit := false
+		for s := first; s <= last; s++ {
+			l := postings.List(ix.lists[e][s])
+			if pos, ok := l.FindID(o.ID); ok && !postings.IsTombstone(l[pos].Interval) {
+				l[pos].Interval = postings.Tombstone
+				hit = true
+			}
+		}
+		if hit {
+			ix.freqs[e]--
+			found = true
+		}
+	}
+	if found {
+		ix.live--
+	}
+}
+
+// Len returns the number of live objects.
+func (ix *Index) Len() int { return ix.live }
+
+// Query evaluates a time-travel IR query: temporal filtering with
+// reference-value de-duplication over the relevant sub-lists of the least
+// frequent element, then per-slice merge intersections for the rest.
+func (ix *Index) Query(q model.Query) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnly(q.Interval)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.lists) || ix.lists[first] == nil {
+		return nil
+	}
+	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
+
+	// Phase 1: candidates from the least frequent element. Each qualifying
+	// object is collected exactly once — from the slice holding its
+	// reference value — so the per-slice id-sorted outputs just need one
+	// k-way merge.
+	perSlice := make([][]model.ObjectID, 0, sl-sf+1)
+	for s := sf; s <= sl; s++ {
+		var ids []model.ObjectID
+		for _, p := range ix.lists[first][s] {
+			if p.Interval.Overlaps(q.Interval) &&
+				ix.sliceOf(postings.RefValue(p.Interval.Start, q.Interval.Start)) == s {
+				ids = append(ids, p.ID)
+			}
+		}
+		perSlice = append(perSlice, ids)
+	}
+	cands := postings.MergeSortedIDLists(perSlice)
+
+	// Phase 2: intersect candidates with each remaining element. A live
+	// candidate overlaps the query, so any replica of it in a relevant
+	// sub-list proves the element is in its description; the keep-mask
+	// is idempotent, so replicated matches need no de-duplication at all
+	// (only phase 1, which *emits*, needs the reference values).
+	keep := make([]bool, len(cands))
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.lists) || ix.lists[e] == nil {
+			return nil
+		}
+		for i := range keep {
+			keep[i] = false
+		}
+		for s := sf; s <= sl; s++ {
+			sub := ix.lists[e][s]
+			i, j := 0, 0
+			for i < len(cands) && j < len(sub) {
+				switch {
+				case cands[i] < sub[j].ID:
+					i++
+				case cands[i] > sub[j].ID:
+					j++
+				default:
+					if !postings.IsTombstone(sub[j].Interval) {
+						keep[i] = true
+					}
+					i++
+					j++
+				}
+			}
+		}
+		w := 0
+		for i, k := range keep {
+			if k {
+				cands[w] = cands[i]
+				w++
+			}
+		}
+		cands = cands[:w]
+		keep = keep[:w]
+	}
+	return cands
+}
+
+// QueryHashDedup answers queries like Query but suppresses replication
+// duplicates with a hash set instead of the reference-value method — the
+// de-duplication ablation (Section 2.2 argues reference values are the
+// more efficient choice; the ablation benchmark quantifies it).
+func (ix *Index) QueryHashDedup(q model.Query) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnly(q.Interval)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.lists) || ix.lists[first] == nil {
+		return nil
+	}
+	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
+	seen := make(map[model.ObjectID]struct{})
+	var cands []model.ObjectID
+	for s := sf; s <= sl; s++ {
+		for _, p := range ix.lists[first][s] {
+			if !p.Interval.Overlaps(q.Interval) {
+				continue
+			}
+			if _, dup := seen[p.ID]; dup {
+				continue
+			}
+			seen[p.ID] = struct{}{}
+			cands = append(cands, p.ID)
+		}
+	}
+	model.SortIDs(cands)
+	keep := make([]bool, len(cands))
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.lists) || ix.lists[e] == nil {
+			return nil
+		}
+		for i := range keep {
+			keep[i] = false
+		}
+		for s := sf; s <= sl; s++ {
+			sub := ix.lists[e][s]
+			i, j := 0, 0
+			for i < len(cands) && j < len(sub) {
+				switch {
+				case cands[i] < sub[j].ID:
+					i++
+				case cands[i] > sub[j].ID:
+					j++
+				default:
+					if !postings.IsTombstone(sub[j].Interval) {
+						keep[i] = true
+					}
+					i++
+					j++
+				}
+			}
+		}
+		w := 0
+		for i, k := range keep {
+			if k {
+				cands[w] = cands[i]
+				w++
+			}
+		}
+		cands = cands[:w]
+		keep = keep[:w]
+	}
+	return cands
+}
+
+func (ix *Index) queryTemporalOnly(q model.Interval) []model.ObjectID {
+	sf, sl := ix.sliceOf(q.Start), ix.sliceOf(q.End)
+	var out []model.ObjectID
+	for e := range ix.lists {
+		if ix.lists[e] == nil {
+			continue
+		}
+		for s := sf; s <= sl; s++ {
+			for _, p := range ix.lists[e][s] {
+				if p.Interval.Overlaps(q) &&
+					ix.sliceOf(postings.RefValue(p.Interval.Start, q.Start)) == s {
+					out = append(out, p.ID)
+				}
+			}
+		}
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// SizeBytes estimates the resident size: replicated 16-byte entries plus
+// per-sub-list headers.
+func (ix *Index) SizeBytes() int64 {
+	var total int64
+	for e := range ix.lists {
+		for s := range ix.lists[e] {
+			total += int64(cap(ix.lists[e][s]))*16 + 24
+		}
+	}
+	return total + int64(len(ix.freqs))*8
+}
+
+// EntryCount returns the total number of (replicated) postings entries —
+// the quantity the Figure 8 size curve tracks.
+func (ix *Index) EntryCount() int64 {
+	var total int64
+	for e := range ix.lists {
+		for s := range ix.lists[e] {
+			total += int64(len(ix.lists[e][s]))
+		}
+	}
+	return total
+}
+
+// TuneSlices implements the spirit of Berberich et al.'s tuning: among the
+// candidate slice counts, pick the largest whose replicated size stays
+// within budgetRatio times the unsliced size (budgetRatio >= 1). The
+// expected query cost model of the paper decreases with more slices until
+// fragmentation dominates, so "largest within budget" matches their
+// optimizer's behaviour on uniform slicings.
+func TuneSlices(c *model.Collection, candidates []int, budgetRatio float64) int {
+	if len(candidates) == 0 {
+		return DefaultSlices
+	}
+	span, ok := c.Span()
+	if !ok {
+		return candidates[0]
+	}
+	base := 0
+	for i := range c.Objects {
+		base += len(c.Objects[i].Elems)
+	}
+	best := candidates[0]
+	for _, k := range candidates {
+		width := (int64(span.End-span.Start) + int64(k)) / int64(k)
+		if width < 1 {
+			width = 1
+		}
+		var entries int64
+		for i := range c.Objects {
+			o := &c.Objects[i]
+			spanned := int64(o.Interval.End-o.Interval.Start)/width + 1
+			entries += spanned * int64(len(o.Elems))
+		}
+		if float64(entries) <= budgetRatio*float64(base) && k > best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func small() *model.Collection {
+	var c model.Collection
+	c.AppendObject(model.Interval{Start: 0, End: 9}, []model.ElemID{0, 1})  // dur 10
+	c.AppendObject(model.Interval{Start: 5, End: 5}, []model.ElemID{0})     // dur 1
+	c.AppendObject(model.Interval{Start: 2, End: 21}, []model.ElemID{0, 2}) // dur 20
+	return &c
+}
+
+func TestComputeSummary(t *testing.T) {
+	s := Compute(small())
+	if s.Cardinality != 3 {
+		t.Errorf("Cardinality = %d", s.Cardinality)
+	}
+	if s.TimeDomain != 22 {
+		t.Errorf("TimeDomain = %d, want 22", s.TimeDomain)
+	}
+	if s.MinDuration != 1 || s.MaxDuration != 20 {
+		t.Errorf("durations [%d,%d]", s.MinDuration, s.MaxDuration)
+	}
+	if s.AvgDuration < 10.2 || s.AvgDuration > 10.5 {
+		t.Errorf("AvgDuration = %f, want ~10.33", s.AvgDuration)
+	}
+	if s.DictSize != 3 {
+		t.Errorf("DictSize = %d, want 3", s.DictSize)
+	}
+	if s.MinDescSize != 1 || s.MaxDescSize != 2 {
+		t.Errorf("desc sizes [%d,%d]", s.MinDescSize, s.MaxDescSize)
+	}
+	if s.MinElemFreq != 1 || s.MaxElemFreq != 3 {
+		t.Errorf("elem freqs [%d,%d]", s.MinElemFreq, s.MaxElemFreq)
+	}
+	if s.PostingsTotal != 5 {
+		t.Errorf("PostingsTotal = %d", s.PostingsTotal)
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	var c model.Collection
+	s := Compute(&c)
+	if s.Cardinality != 0 || s.TimeDomain != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Compute(small()).Table("TEST")
+	for _, want := range []string{"== TEST ==", "Cardinality", "3", "Avg. interval duration [%]", "Dictionary size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	values := []int64{1, 1, 2, 3, 10, 100, 1000}
+	h := LogHistogram("durations", values, 10)
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.Count
+		if b.Lo >= b.Hi {
+			t.Errorf("bucket [%d,%d) malformed", b.Lo, b.Hi)
+		}
+	}
+	if total != len(values) {
+		t.Errorf("histogram covers %d of %d values", total, len(values))
+	}
+	if LogHistogram("empty", nil, 10).Buckets != nil {
+		t.Error("empty histogram should have no buckets")
+	}
+	out := h.Render(40)
+	if !strings.Contains(out, "durations") || !strings.Contains(out, "#") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestDurationsAndFrequencies(t *testing.T) {
+	c := small()
+	d := Durations(c)
+	if len(d) != 3 || d[0] != 10 {
+		t.Errorf("Durations = %v", d)
+	}
+	f := Frequencies(c)
+	if len(f) != 3 {
+		t.Errorf("Frequencies = %v", f)
+	}
+}
+
+func TestRealStandInShape(t *testing.T) {
+	// The ECLOG stand-in should land near the Table 3 shape targets.
+	c := gen.ECLOGLike(gen.RealConfig{Scale: 0.01, Seed: 42})
+	s := Compute(c)
+	if s.AvgDurationPct < 2 || s.AvgDurationPct > 25 {
+		t.Errorf("ECLOG-like avg duration share = %.1f%%, target ~8.4%%", s.AvgDurationPct)
+	}
+	if s.AvgDescSize < 30 || s.AvgDescSize > 150 {
+		t.Errorf("ECLOG-like avg |d| = %.0f, target ~72", s.AvgDescSize)
+	}
+	if s.MaxElemFreq <= int(s.AvgElemFreq) {
+		t.Error("element frequency distribution should be skewed")
+	}
+}

@@ -1,0 +1,37 @@
+package textutil
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks the tokenizer invariants on arbitrary input: only
+// lowercase alphanumeric tokens, no stopwords, min-length respected.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Hello, World!")
+	f.Add("the and of")
+	f.Add("日本語 text with ünïcode")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, tok := range Tokenize(text, Options{MinLength: 2}) {
+			if len([]rune(tok)) < 2 {
+				t.Fatalf("short token %q", tok)
+			}
+			if IsStopword(tok) {
+				t.Fatalf("stopword %q leaked", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("non-alphanumeric rune in %q", tok)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("uppercase rune in %q", tok)
+				}
+			}
+			// Note: we deliberately do not assert substring containment
+			// against strings.ToLower(text) — Unicode special cases
+			// (final sigma, dotted I) lowercase differently under the
+			// per-rune mapping the tokenizer uses.
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package textutil
+
+import (
+	"testing"
+)
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"", nil},
+		{"   ", nil},
+		{"one-two_three", []string{"one", "two", "three"}},
+		{"The cat and the hat", []string{"cat", "hat"}},
+		{"C3PO met R2D2", []string{"c3po", "met", "r2d2"}},
+		{"ALLCAPS", []string{"allcaps"}},
+	}
+	for _, tt := range tests {
+		if got := Tokenize(tt.in, Options{}); !equal(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Füř Élise — Beethoven", Options{})
+	want := []string{"füř", "élise", "beethoven"}
+	if !equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestKeepStopwords(t *testing.T) {
+	got := Tokenize("the cat", Options{KeepStopwords: true})
+	want := []string{"the", "cat"}
+	if !equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMinLength(t *testing.T) {
+	got := Tokenize("a bb ccc dddd", Options{KeepStopwords: true, MinLength: 3})
+	want := []string{"ccc", "dddd"}
+	if !equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// MinLength counts runes, not bytes.
+	got = Tokenize("éé z", Options{MinLength: 2})
+	want = []string{"éé"}
+	if !equal(got, want) {
+		t.Errorf("rune counting: got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePreservesDuplicates(t *testing.T) {
+	got := Tokenize("go go go", Options{})
+	if len(got) != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("cat") {
+		t.Error("IsStopword misbehaved")
+	}
+}

@@ -1,0 +1,169 @@
+package tifhint
+
+import (
+	"repro/internal/dict"
+	"repro/internal/domain"
+	"repro/internal/hint"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// BinaryIndex is the tIF+HINT variant of Algorithm 3: every postings list
+// I[e] is organized as a HINT H[e] with the full subs+sort optimizations.
+// The least frequent query element is answered with a plain HINT range
+// query; every further element traverses its HINT bottom-up, probing the
+// id-sorted candidate set with binary searches while still applying the
+// compfirst/complast temporal pruning.
+type BinaryIndex struct {
+	shared domain.Domain
+	hints  []*hint.Index // per element, nil when unused
+	freqs  []int
+	live   int
+	m      int
+}
+
+// NewBinary builds the binary-search tIF+HINT variant.
+func NewBinary(c *model.Collection, opts ...Option) *BinaryIndex {
+	cfg := config{m: DefaultBinaryM}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.costModel {
+		cfg.m = costModelM(c, 20)
+	}
+	ix := &BinaryIndex{
+		hints: make([]*hint.Index, c.DictSize),
+		freqs: make([]int, c.DictSize),
+		m:     cfg.m,
+	}
+	ix.shared = sharedDomain(c, cfg.m)
+	for i := range c.Objects {
+		// Bulk mode: append now, one sort per subdivision in Finalize —
+		// sorted insertion would be quadratic on frequent elements.
+		o := &c.Objects[i]
+		p := postings.Posting{ID: o.ID, Interval: o.Interval}
+		for _, e := range o.Elems {
+			ix.growTo(int(e) + 1)
+			if ix.hints[e] == nil {
+				ix.hints[e] = hint.New(ix.shared)
+			}
+			ix.hints[e].Append(p)
+			ix.freqs[e]++
+		}
+	}
+	for _, h := range ix.hints {
+		if h != nil {
+			h.Finalize()
+		}
+	}
+	ix.live = len(c.Objects)
+	return ix
+}
+
+// Insert adds one object (update path, maintaining subdivision order).
+func (ix *BinaryIndex) Insert(o model.Object) {
+	p := postings.Posting{ID: o.ID, Interval: o.Interval}
+	for _, e := range o.Elems {
+		ix.growTo(int(e) + 1)
+		if ix.hints[e] == nil {
+			ix.hints[e] = hint.New(ix.shared)
+		}
+		ix.hints[e].Insert(p)
+		ix.freqs[e]++
+	}
+	ix.live++
+}
+
+// Delete tombstones the object in each of its element HINTs.
+func (ix *BinaryIndex) Delete(o model.Object) {
+	p := postings.Posting{ID: o.ID, Interval: o.Interval}
+	found := false
+	for _, e := range o.Elems {
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			continue
+		}
+		if ix.hints[e].Delete(p) {
+			ix.freqs[e]--
+			found = true
+		}
+	}
+	if found {
+		ix.live--
+	}
+}
+
+func (ix *BinaryIndex) growTo(n int) {
+	for len(ix.hints) < n {
+		ix.hints = append(ix.hints, nil)
+		ix.freqs = append(ix.freqs, 0)
+	}
+}
+
+// Len returns the number of live objects.
+func (ix *BinaryIndex) Len() int { return ix.live }
+
+// M returns the grid bits in use.
+func (ix *BinaryIndex) M() int { return ix.m }
+
+// Query implements Algorithm 3.
+func (ix *BinaryIndex) Query(q model.Query) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnly(q.Interval)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
+		return nil
+	}
+	// Lines 1-3: the initial candidates from a plain HINT range query.
+	cands := ix.hints[first].RangeQuery(q.Interval, nil)
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		// Line 5: sort C by id so membership probes are binary searches.
+		model.SortIDs(cands)
+		// Lines 7-29: traverse H[e] with the temporal flags, keeping the
+		// candidates found in qualifying divisions.
+		cands = ix.hints[e].RangeQueryFiltered(q.Interval, func(id model.ObjectID) bool {
+			return postings.ContainsSorted(cands, id)
+		}, nil)
+	}
+	return cands
+}
+
+func (ix *BinaryIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {
+	var out []model.ObjectID
+	for _, h := range ix.hints {
+		if h != nil {
+			out = h.RangeQuery(q, out)
+		}
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// SizeBytes sums the per-element HINT sizes.
+func (ix *BinaryIndex) SizeBytes() int64 {
+	var total int64
+	for _, h := range ix.hints {
+		if h != nil {
+			total += h.SizeBytes()
+		}
+	}
+	return total + int64(len(ix.freqs))*8
+}
+
+// EntryCount sums stored entries across all postings HINTs.
+func (ix *BinaryIndex) EntryCount() int64 {
+	var total int64
+	for _, h := range ix.hints {
+		if h != nil {
+			total += h.EntryCount()
+		}
+	}
+	return total
+}

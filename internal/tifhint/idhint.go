@@ -1,0 +1,221 @@
+package tifhint
+
+import (
+	"sort"
+
+	"repro/internal/domain"
+	"repro/internal/hint"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// idHint is the modified HINT of Algorithm 4: one hierarchy per postings
+// list whose originals/replicas divisions are sorted by object id instead
+// of the beneficial temporal orders. Range queries therefore scan with
+// per-entry comparisons, but candidate intersections run as linear merges
+// — the trade the merge-sort variant and the hybrid are built on.
+type idHint struct {
+	dom    domain.Domain
+	levels []idLevel
+	live   int
+}
+
+type idLevel struct {
+	keys  []uint32
+	parts []*idPart
+}
+
+// idPart holds the originals (o) and replicas (r) divisions, id-sorted.
+type idPart struct {
+	o []postings.Posting
+	r []postings.Posting
+}
+
+func newIDHint(dom domain.Domain) *idHint {
+	return &idHint{dom: dom, levels: make([]idLevel, dom.M+1)}
+}
+
+func (lv *idLevel) get(j uint32) *idPart {
+	i := sort.Search(len(lv.keys), func(i int) bool { return lv.keys[i] >= j })
+	if i < len(lv.keys) && lv.keys[i] == j {
+		return lv.parts[i]
+	}
+	return nil
+}
+
+func (lv *idLevel) getOrCreate(j uint32) *idPart {
+	i := sort.Search(len(lv.keys), func(i int) bool { return lv.keys[i] >= j })
+	if i < len(lv.keys) && lv.keys[i] == j {
+		return lv.parts[i]
+	}
+	lv.keys = append(lv.keys, 0)
+	lv.parts = append(lv.parts, nil)
+	copy(lv.keys[i+1:], lv.keys[i:])
+	copy(lv.parts[i+1:], lv.parts[i:])
+	lv.keys[i] = j
+	p := &idPart{}
+	lv.parts[i] = p
+	return p
+}
+
+func (lv *idLevel) forRange(f, l uint32, fn func(j uint32, p *idPart)) {
+	i := sort.Search(len(lv.keys), func(i int) bool { return lv.keys[i] >= f })
+	for ; i < len(lv.keys) && lv.keys[i] <= l; i++ {
+		fn(lv.keys[i], lv.parts[i])
+	}
+}
+
+// insert routes the entry through the HINT assignment, keeping divisions
+// id-sorted (appends suffice for monotonically growing ids; out-of-order
+// ids fall back to a positioned insert).
+func (h *idHint) insert(p postings.Posting) {
+	hint.Assign(h.dom, p.Interval, func(level int, j uint32, original, _ bool) {
+		part := h.levels[level].getOrCreate(j)
+		if original {
+			part.o = insertByID(part.o, p)
+		} else {
+			part.r = insertByID(part.r, p)
+		}
+	})
+	h.live++
+}
+
+func insertByID(s []postings.Posting, p postings.Posting) []postings.Posting {
+	if n := len(s); n == 0 || s[n-1].ID < p.ID {
+		return append(s, p)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID > p.ID })
+	s = append(s, postings.Posting{})
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+// delete locates every copy by binary search on id and flags it with the
+// tombstone interval sentinel (id order must survive, so the dead bit is
+// not usable here). It reports whether a live copy was found.
+func (h *idHint) delete(p postings.Posting) bool {
+	found := false
+	hint.Assign(h.dom, p.Interval, func(level int, j uint32, original, _ bool) {
+		part := h.levels[level].get(j)
+		if part == nil {
+			return
+		}
+		div := part.o
+		if !original {
+			div = part.r
+		}
+		i := sort.Search(len(div), func(i int) bool { return div[i].ID >= p.ID })
+		if i < len(div) && div[i].ID == p.ID && !postings.IsTombstone(div[i].Interval) {
+			div[i].Interval = postings.Tombstone
+			found = true
+		}
+	})
+	if found {
+		h.live--
+	}
+	return found
+}
+
+// rangeQuery runs Algorithm 2 over the id-sorted divisions: the partition
+// pruning and compfirst/complast flags still apply, but every residual
+// comparison is a scan (footnote 8 of the paper: id order trades slower
+// range queries for mergeable intersections).
+func (h *idHint) rangeQuery(q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	hint.Visit(h.dom, q, func(lv hint.LevelVisit) {
+		h.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *idPart) {
+			ob := lv.Oblige(j)
+			dst = scanDivision(p.o, ob.CheckStart, ob.CheckEnd, q, dst)
+			if ob.First {
+				// Replicas never need the end check.
+				dst = scanDivision(p.r, ob.CheckStart, false, q, dst)
+			}
+		})
+	})
+	return dst
+}
+
+// scanDivision appends live ids passing the requested comparisons.
+func scanDivision(s []postings.Posting, checkStart, checkEnd bool, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	for i := range s {
+		if postings.IsTombstone(s[i].Interval) {
+			continue
+		}
+		if checkStart && s[i].Interval.End < q.Start {
+			continue
+		}
+		if checkEnd && s[i].Interval.Start > q.End {
+			continue
+		}
+		dst = append(dst, s[i].ID)
+	}
+	return dst
+}
+
+// intersect computes C ∩ H[e] over the relevant divisions: every candidate
+// already overlaps the query, so membership in any relevant division
+// suffices (each candidate holding the element has exactly one entry among
+// them, by HINT's duplicate-avoidance rule). The keep-mask merge preserves
+// candidate order. keep must have len(cands) capacity.
+func (h *idHint) intersect(q model.Interval, cands []model.ObjectID, keep []bool) []model.ObjectID {
+	for i := range keep {
+		keep[i] = false
+	}
+	hint.Visit(h.dom, q, func(lv hint.LevelVisit) {
+		h.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *idPart) {
+			markMatches(p.o, cands, keep)
+			if j == lv.F {
+				markMatches(p.r, cands, keep)
+			}
+		})
+	})
+	w := 0
+	for i, k := range keep {
+		if k {
+			cands[w] = cands[i]
+			w++
+		}
+	}
+	return cands[:w]
+}
+
+func markMatches(div []postings.Posting, cands []model.ObjectID, keep []bool) {
+	i, j := 0, 0
+	for i < len(cands) && j < len(div) {
+		switch {
+		case cands[i] < div[j].ID:
+			i++
+		case cands[i] > div[j].ID:
+			j++
+		default:
+			if !postings.IsTombstone(div[j].Interval) {
+				keep[i] = true
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// entryCount returns stored entries including replicas and tombstones.
+func (h *idHint) entryCount() int64 {
+	var n int64
+	for l := range h.levels {
+		for _, p := range h.levels[l].parts {
+			n += int64(len(p.o) + len(p.r))
+		}
+	}
+	return n
+}
+
+// sizeBytes estimates resident bytes.
+func (h *idHint) sizeBytes() int64 {
+	var total int64
+	for l := range h.levels {
+		total += int64(cap(h.levels[l].keys))*4 + int64(cap(h.levels[l].parts))*8
+		for _, p := range h.levels[l].parts {
+			total += int64(cap(p.o)+cap(p.r))*16 + 48
+		}
+	}
+	return total
+}

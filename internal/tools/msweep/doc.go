@@ -1,0 +1,6 @@
+// Command msweep is an ablation tool for the irHINT cost model: it sweeps
+// the hierarchy bits m on an ECLOG-like dataset, printing throughput and
+// size per m next to the value the cost model selects (m=0 row). Used to
+// calibrate the PartitionOverhead constant in internal/core; see the
+// "tuning irHINT's m" ablation in EXPERIMENTS.md.
+package main

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	temporalir "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	c := gen.ECLOGLike(gen.RealConfig{Scale: 0.1, Seed: 43})
+	qs := gen.Workload(c, gen.DefaultQueryConfig(), 400, 17)
+	auto := core.NewPerf(c)
+	fmt.Println("cost-model m =", auto.M())
+	for _, m := range []int{0, 2, 3, 4, 5, 6, 8, 10, 12} {
+		var ix temporalir.Index
+		if m == 0 {
+			ix = auto
+		} else {
+			ix = core.NewPerf(c, core.WithM(m))
+		}
+		start := time.Now()
+		n := 0
+		for time.Since(start) < 300*time.Millisecond {
+			for _, q := range qs {
+				_ = ix.Query(q)
+				n++
+			}
+		}
+		fmt.Printf("m=%2d  qps=%8.0f  size=%6.1fMB\n", m, float64(n)/time.Since(start).Seconds(), float64(ix.SizeBytes())/(1<<20))
+	}
+}

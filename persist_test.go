@@ -1,0 +1,134 @@
+package temporalir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildPersistEngine(t *testing.T) *Engine {
+	t.Helper()
+	b := NewBuilder()
+	b.Add(0, 100, "alpha", "beta")
+	b.Add(50, 150, "alpha", "gamma")
+	b.Add(200, 300, "beta")
+	b.Add(120, 180, "gamma", "delta")
+	e, err := b.Build(IRHintPerf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := buildPersistEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf, TIFSlicing, Options{Slices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 4 {
+		t.Fatalf("Len = %d", loaded.Len())
+	}
+	// Same searches, possibly different ids (dense re-assignment) — so
+	// compare result counts and retrieved term sets.
+	for _, q := range []struct {
+		s, e  Timestamp
+		terms []string
+	}{
+		{0, 100, []string{"alpha"}},
+		{100, 200, []string{"gamma"}},
+		{0, 300, []string{"beta"}},
+		{0, 300, []string{"unseen"}},
+	} {
+		a := e.Search(q.s, q.e, q.terms...)
+		b := loaded.Search(q.s, q.e, q.terms...)
+		if len(a) != len(b) {
+			t.Fatalf("search %v: %d vs %d results", q.terms, len(a), len(b))
+		}
+	}
+	// Terms survive with their strings.
+	iv, terms, err := loaded.Object(loaded.Search(120, 130, "delta")[0])
+	if err != nil || iv != (Interval{Start: 120, End: 180}) {
+		t.Fatalf("Object after load: %v %v %v", iv, terms, err)
+	}
+	if strings.Join(terms, ",") != "gamma,delta" && strings.Join(terms, ",") != "delta,gamma" {
+		t.Errorf("terms after load: %v", terms)
+	}
+	// The loaded engine keeps working for updates.
+	loaded.Insert(400, 500, "alpha", "epsilon")
+	if got := loaded.Search(450, 460, "epsilon"); len(got) != 1 {
+		t.Errorf("insert after load: %v", got)
+	}
+}
+
+func TestSaveFoldsDeletions(t *testing.T) {
+	e := buildPersistEngine(t)
+	victim := e.Search(0, 100, "alpha", "beta")[0]
+	if err := e.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf, IRHintPerf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Fatalf("Len after folded delete = %d, want 3", loaded.Len())
+	}
+	if got := loaded.Search(0, 100, "alpha", "beta"); len(got) != 0 {
+		t.Errorf("deleted object resurrected: %v", got)
+	}
+	// The other alpha object survives.
+	if got := loaded.Search(0, 150, "alpha"); len(got) != 1 {
+		t.Errorf("surviving object lost: %v", got)
+	}
+}
+
+func TestLoadEngineValidation(t *testing.T) {
+	if _, err := LoadEngine(bytes.NewReader([]byte("XXXX")), TIF, Options{}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := LoadEngine(bytes.NewReader(append([]byte("TIRE"), 99)), TIF, Options{}); err == nil {
+		t.Error("bad version accepted")
+	}
+	e := buildPersistEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, 6, len(data) / 2} {
+		if _, err := LoadEngine(bytes.NewReader(data[:cut]), TIF, Options{}); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := LoadEngine(bytes.NewReader(data), "nope", Options{}); err == nil {
+		t.Error("unknown method accepted at load")
+	}
+}
+
+func TestSaveLoadEmptyEngine(t *testing.T) {
+	b := NewBuilder()
+	e, err := b.Build(TIF, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf, TIF, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Errorf("Len = %d", loaded.Len())
+	}
+}

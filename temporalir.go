@@ -1,0 +1,299 @@
+// Package temporalir is a library for time-travel information-retrieval
+// queries: given a collection of objects, each carrying a lifespan
+// interval and a set of descriptive elements, it answers queries that
+// combine a time interval of interest with a set of required elements —
+// returning every object whose lifespan overlaps the query interval and
+// whose description contains all query elements.
+//
+// The package implements the complete index family studied in Rauch &
+// Bouros, "Fast Indexing for Temporal Information Retrieval" (SIGMOD):
+//
+//	TIF             the base temporal inverted file (Algorithm 1)
+//	TIFSlicing      tIF + time-domain slicing [Berberich et al.]
+//	TIFSharding     tIF + staircase sharding [Anand et al.]
+//	TIFHintBinary   tIF + per-element HINT, binary-search probes (Alg. 3)
+//	TIFHintMerge    tIF + per-element HINT, merge intersections (Alg. 4)
+//	TIFHintSlicing  the dual-copy hybrid (Section 3.2)
+//	IRHintPerf      irHINT, performance variant (Section 4.1) — the
+//	                paper's headline contribution
+//	IRHintSize      irHINT, size variant (Section 4.2)
+//
+// All indices return exactly the same result sets; they differ in query
+// throughput, memory footprint and update cost. Use NewIndex (or a typed
+// constructor) when objects are already modeled as element-id sets, or the
+// Builder/Engine pair for a string-terms convenience layer.
+package temporalir
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/model"
+	"repro/internal/sharding"
+	"repro/internal/slicing"
+	"repro/internal/tif"
+	"repro/internal/tifhint"
+)
+
+// Core data-model types, aliased from the internal model package so
+// values flow between the public API and internal machinery without
+// conversion.
+type (
+	// Timestamp is a point in the application's time domain.
+	Timestamp = model.Timestamp
+	// ObjectID identifies an object in a collection.
+	ObjectID = model.ObjectID
+	// ElemID identifies a descriptive element (term, track, product...).
+	ElemID = model.ElemID
+	// Interval is a closed time interval [Start, End].
+	Interval = model.Interval
+	// Object is an <id, interval, elements> triple.
+	Object = model.Object
+	// Query pairs an interval of interest with required elements.
+	Query = model.Query
+	// Collection is an ordered set of objects over a shared dictionary.
+	Collection = model.Collection
+)
+
+// NewInterval returns [start, end], panicking if start > end.
+func NewInterval(start, end Timestamp) Interval { return model.NewInterval(start, end) }
+
+// Index is the common surface of every index in the family. Query returns
+// matching object ids (order unspecified; use SortIDs for a canonical
+// order). Insert adds an object with a fresh id; Delete tombstones an
+// object given its full record (indices locate entries by interval and
+// id, as the paper's logical-deletion scheme does).
+type Index interface {
+	Query(q Query) []ObjectID
+	Insert(o Object)
+	Delete(o Object)
+	Len() int
+	SizeBytes() int64
+}
+
+// SortIDs orders a result set ascending in place.
+func SortIDs(ids []ObjectID) { model.SortIDs(ids) }
+
+// Method selects an index implementation.
+type Method string
+
+// The eight implementations benchmarked in the paper's evaluation.
+const (
+	TIF            Method = "tif"
+	TIFSlicing     Method = "tif+slicing"
+	TIFSharding    Method = "tif+sharding"
+	TIFHintBinary  Method = "tif+hint/binary"
+	TIFHintMerge   Method = "tif+hint/merge"
+	TIFHintSlicing Method = "tif+hint+slicing"
+	IRHintPerf     Method = "irhint/perf"
+	IRHintSize     Method = "irhint/size"
+)
+
+// Methods lists every implementation in the order the paper's tables use.
+func Methods() []Method {
+	return []Method{
+		TIFSlicing, TIFSharding,
+		TIFHintBinary, TIFHintMerge, TIFHintSlicing,
+		IRHintPerf, IRHintSize,
+	}
+}
+
+// Options tunes index construction. Zero values select the paper's tuned
+// defaults (Section 5.2): 50 slices, m=10 for the binary variant, m=5 for
+// merge/hybrid, cost-model m for irHINT.
+type Options struct {
+	// M fixes the HINT hierarchy bits where applicable.
+	M int
+	// Slices sets the slice count for TIFSlicing and TIFHintSlicing.
+	Slices int
+	// MaxShards caps per-list shards for TIFSharding (0 = default 16;
+	// negative keeps every ideal shard).
+	MaxShards int
+	// CostModelM derives M from the HINT cost model (always on for the
+	// irHINT variants when M is zero).
+	CostModelM bool
+}
+
+// NewIndex builds the selected index over a collection.
+func NewIndex(m Method, c *Collection, opts Options) (Index, error) {
+	switch m {
+	case TIF:
+		return tif.New(c), nil
+	case TIFSlicing:
+		var o []slicing.Option
+		if opts.Slices > 0 {
+			o = append(o, slicing.WithSlices(opts.Slices))
+		}
+		return slicing.New(c, o...), nil
+	case TIFSharding:
+		var o []sharding.Option
+		if opts.MaxShards != 0 {
+			n := opts.MaxShards
+			if n < 0 {
+				n = 0 // keep every ideal shard
+			}
+			o = append(o, sharding.WithMaxShards(n))
+		}
+		return sharding.New(c, o...), nil
+	case TIFHintBinary:
+		return tifhint.NewBinary(c, hintOpts(opts)...), nil
+	case TIFHintMerge:
+		return tifhint.NewMerge(c, hintOpts(opts)...), nil
+	case TIFHintSlicing:
+		o := hintOpts(opts)
+		if opts.Slices > 0 {
+			o = append(o, tifhint.WithSlices(opts.Slices))
+		}
+		return tifhint.NewHybrid(c, o...), nil
+	case IRHintPerf:
+		return core.NewPerf(c, irOpts(opts)...), nil
+	case IRHintSize:
+		return core.NewSize(c, irOpts(opts)...), nil
+	default:
+		return nil, fmt.Errorf("temporalir: unknown method %q", m)
+	}
+}
+
+func hintOpts(opts Options) []tifhint.Option {
+	var o []tifhint.Option
+	if opts.M > 0 {
+		o = append(o, tifhint.WithM(opts.M))
+	}
+	if opts.CostModelM {
+		o = append(o, tifhint.WithCostModelM())
+	}
+	return o
+}
+
+func irOpts(opts Options) []core.Option {
+	var o []core.Option
+	if opts.M > 0 {
+		o = append(o, core.WithM(opts.M))
+	}
+	return o
+}
+
+// Typed constructors for discoverability.
+
+// NewTIF builds the base temporal inverted file.
+func NewTIF(c *Collection) Index { return tif.New(c) }
+
+// NewTIFSlicing builds tIF+Slicing with the given slice count (0 =
+// paper-tuned 50).
+func NewTIFSlicing(c *Collection, slices int) Index {
+	ix, _ := NewIndex(TIFSlicing, c, Options{Slices: slices})
+	return ix
+}
+
+// NewTIFSharding builds tIF+Sharding with the given shard budget
+// (0 = default, negative = unlimited ideal shards).
+func NewTIFSharding(c *Collection, maxShards int) Index {
+	ix, _ := NewIndex(TIFSharding, c, Options{MaxShards: maxShards})
+	return ix
+}
+
+// NewTIFHintBinary builds the binary-search tIF+HINT variant.
+func NewTIFHintBinary(c *Collection, m int) Index {
+	ix, _ := NewIndex(TIFHintBinary, c, Options{M: m})
+	return ix
+}
+
+// NewTIFHintMerge builds the merge-sort tIF+HINT variant.
+func NewTIFHintMerge(c *Collection, m int) Index {
+	ix, _ := NewIndex(TIFHintMerge, c, Options{M: m})
+	return ix
+}
+
+// NewTIFHintSlicing builds the dual-copy hybrid.
+func NewTIFHintSlicing(c *Collection, m, slices int) Index {
+	ix, _ := NewIndex(TIFHintSlicing, c, Options{M: m, Slices: slices})
+	return ix
+}
+
+// NewIRHintPerf builds the performance irHINT (m = 0 runs the cost model).
+func NewIRHintPerf(c *Collection, m int) Index {
+	ix, _ := NewIndex(IRHintPerf, c, Options{M: m})
+	return ix
+}
+
+// NewIRHintSize builds the size irHINT (m = 0 runs the cost model).
+func NewIRHintSize(c *Collection, m int) Index {
+	ix, _ := NewIndex(IRHintSize, c, Options{M: m})
+	return ix
+}
+
+// JoinPair is one temporal-join result.
+type JoinPair = join.Pair
+
+// Join pairs objects across two collections whose lifespans overlap and
+// whose descriptions share at least minShared elements (0 = pure interval
+// join) — the temporal IR join the paper lists as future work. The larger
+// side is HINT-indexed, the smaller probes it.
+func Join(left, right *Collection, minShared int) []JoinPair {
+	return join.Join(left, right, join.Config{MinShared: minShared})
+}
+
+// SelfJoin pairs objects within one collection the same way, emitting
+// each unordered pair once (Left < Right).
+func SelfJoin(c *Collection, minShared int) []JoinPair {
+	return join.SelfJoin(c, join.Config{MinShared: minShared})
+}
+
+// QueryAny evaluates the disjunctive variant of a time-travel IR query:
+// objects whose lifespan overlaps the interval and whose description
+// contains AT LEAST ONE of the elements. It composes single-element
+// conjunctive queries (which every index answers natively) and merges the
+// results, so it works uniformly across the whole family.
+func QueryAny(ix Index, q Query) []ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.Query(q)
+	}
+	var out []ObjectID
+	for _, e := range model.NormalizeElems(append([]ElemID(nil), q.Elems...)) {
+		out = append(out, ix.Query(Query{Interval: q.Interval, Elems: []ElemID{e}})...)
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// QueryBatch evaluates many queries concurrently over one index using up
+// to parallelism goroutines (0 = GOMAXPROCS). Indices are safe for
+// concurrent readers, so batch workloads — the many-users archive-search
+// setting the paper's throughput metric models — scale with cores.
+// results[i] corresponds to queries[i].
+func QueryBatch(ix Index, queries []Query, parallelism int) [][]ObjectID {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	results := make([][]ObjectID, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			results[i] = ix.Query(q)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				results[i] = ix.Query(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
