@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz examples experiments clean
+.PHONY: all build test vet lint invariants bench race fuzz examples experiments clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/irlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+invariants:
+	$(GO) test -tags invariants ./internal/postings ./internal/hint
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -24,6 +30,7 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzIterator -fuzztime=30s ./internal/compress/
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/textutil/
+	$(GO) test -fuzz=FuzzIntersect -fuzztime=30s ./internal/postings/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,6 +2,7 @@ package temporalir
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/aggregate"
 	"repro/internal/dict"
@@ -50,8 +51,11 @@ func (b *Builder) Build(m Method, opts Options) (*Engine, error) {
 }
 
 // Engine pairs an index with the dictionary and object store, exposing a
-// string-term search surface.
+// string-term search surface. An Engine is safe for concurrent use: reads
+// (Search and friends) run in parallel, mutations (Insert, Delete,
+// RefreshScorer) serialize behind a writer lock.
 type Engine struct {
+	mu      sync.RWMutex
 	dict    *dict.Dictionary
 	coll    *Collection
 	index   Index
@@ -60,23 +64,77 @@ type Engine struct {
 	deleted map[ObjectID]bool
 }
 
+// liveIndex wraps an index so every query result is filtered against the
+// engine's tombstone set. Index implementations differ in how thoroughly
+// Delete hides entries (some only mark interval-store copies); routing
+// every engine query through this wrapper makes deletion behavior uniform
+// across all Method values.
+type liveIndex struct {
+	inner   Index
+	deleted map[ObjectID]bool
+}
+
+// Query filters tombstoned ids out of the inner result, in place.
+func (li liveIndex) Query(q Query) []ObjectID {
+	ids := li.inner.Query(q)
+	if len(li.deleted) == 0 {
+		return ids
+	}
+	w := 0
+	for _, id := range ids {
+		if !li.deleted[id] {
+			ids[w] = id
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// Insert passes through to the inner index.
+func (li liveIndex) Insert(o Object) { li.inner.Insert(o) }
+
+// Delete passes through to the inner index.
+func (li liveIndex) Delete(o Object) { li.inner.Delete(o) }
+
+// Len passes through to the inner index.
+func (li liveIndex) Len() int { return li.inner.Len() }
+
+// SizeBytes passes through to the inner index.
+func (li liveIndex) SizeBytes() int64 { return li.inner.SizeBytes() }
+
+// live returns the tombstone-filtering view of the engine's index.
+// Callers must hold e.mu.
+func (e *Engine) live() liveIndex {
+	return liveIndex{inner: e.index, deleted: e.deleted}
+}
+
 // Method returns the index implementation in use.
 func (e *Engine) Method() Method { return e.method }
 
 // Index exposes the underlying index for advanced use.
 func (e *Engine) Index() Index { return e.index }
 
-// Len returns the number of live objects.
-func (e *Engine) Len() int { return e.index.Len() }
+// Len returns the number of live (non-tombstoned) objects.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.coll.Objects) - len(e.deleted)
+}
 
 // SizeBytes estimates the index's resident size.
-func (e *Engine) SizeBytes() int64 { return e.index.SizeBytes() }
+func (e *Engine) SizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index.SizeBytes()
+}
 
 // Search runs a time-travel IR query: objects overlapping [start, end]
 // whose description contains every term. Unknown terms make the result
 // empty (the conjunction cannot be satisfied). Results are in ascending
 // id order.
 func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	elems := make([]ElemID, 0, len(terms))
 	for _, t := range terms {
 		id, ok := e.dict.Lookup(t)
@@ -85,7 +143,7 @@ func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
 		}
 		elems = append(elems, id)
 	}
-	ids := e.index.Query(Query{
+	ids := e.live().Query(Query{
 		Interval: model.Canon(start, end),
 		Elems:    model.NormalizeElems(elems),
 	})
@@ -97,6 +155,8 @@ func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
 // [start, end] containing at least one of the terms. Unknown terms are
 // ignored (they cannot contribute matches).
 func (e *Engine) SearchAny(start, end Timestamp, terms ...string) []ObjectID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	elems := make([]ElemID, 0, len(terms))
 	for _, t := range terms {
 		if id, ok := e.dict.Lookup(t); ok {
@@ -106,7 +166,7 @@ func (e *Engine) SearchAny(start, end Timestamp, terms ...string) []ObjectID {
 	if len(elems) == 0 {
 		return nil
 	}
-	return QueryAny(e.index, Query{
+	return QueryAny(e.live(), Query{
 		Interval: model.Canon(start, end),
 		Elems:    model.NormalizeElems(elems),
 	})
@@ -114,7 +174,9 @@ func (e *Engine) SearchAny(start, end Timestamp, terms ...string) []ObjectID {
 
 // Object returns the lifespan and terms of an object.
 func (e *Engine) Object(id ObjectID) (Interval, []string, error) {
-	if int(id) >= len(e.coll.Objects) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if int(id) >= len(e.coll.Objects) || e.deleted[id] {
 		return Interval{}, nil, fmt.Errorf("temporalir: unknown object %d", id)
 	}
 	o := &e.coll.Objects[id]
@@ -128,6 +190,8 @@ func (e *Engine) Object(id ObjectID) (Interval, []string, error) {
 // Insert adds a new object to both the store and the index, returning its
 // id.
 func (e *Engine) Insert(start, end Timestamp, terms ...string) ObjectID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	elems := e.dict.AddObject(terms)
 	iv := NewInterval(start, end)
 	id := ObjectID(len(e.coll.Objects))
@@ -153,6 +217,9 @@ type ScoredResult struct {
 // collection at the first ranked search; call RefreshScorer after bulk
 // updates to re-weigh.
 func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []ScoredResult {
+	e.ensureScorer()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	elems := make([]ElemID, 0, len(terms))
 	for _, t := range terms {
 		id, ok := e.dict.Lookup(t)
@@ -161,11 +228,8 @@ func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []Scor
 		}
 		elems = append(elems, id)
 	}
-	if e.scorer == nil {
-		e.RefreshScorer()
-	}
 	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
-	results := rank.TopK(e.index, e.coll, e.scorer, q, k)
+	results := rank.TopK(e.live(), e.coll, e.scorer, q, k)
 	out := make([]ScoredResult, len(results))
 	for i, r := range results {
 		out[i] = ScoredResult{ID: r.ID, Score: r.Score}
@@ -173,9 +237,22 @@ func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []Scor
 	return out
 }
 
+// ensureScorer lazily initializes the IDF scorer through the writer lock,
+// so concurrent ranked searches never race on the shared field.
+func (e *Engine) ensureScorer() {
+	e.mu.RLock()
+	ready := e.scorer != nil
+	e.mu.RUnlock()
+	if !ready {
+		e.RefreshScorer()
+	}
+}
+
 // RefreshScorer recomputes the IDF weights used by SearchTopK from the
 // current collection contents.
 func (e *Engine) RefreshScorer() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.scorer = rank.NewScorer(e.coll, rank.ScorerConfig{})
 }
 
@@ -192,6 +269,8 @@ type TimelineBucket struct {
 // reports how many matching objects were alive in it (and for how long) —
 // "how did interest in these terms evolve across the period".
 func (e *Engine) Timeline(start, end Timestamp, buckets int, terms ...string) []TimelineBucket {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	elems := make([]ElemID, 0, len(terms))
 	for _, t := range terms {
 		id, ok := e.dict.Lookup(t)
@@ -202,16 +281,22 @@ func (e *Engine) Timeline(start, end Timestamp, buckets int, terms ...string) []
 	}
 	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
 	out := make([]TimelineBucket, 0, buckets)
-	for _, b := range aggregate.Histogram(e.index, e.coll, q, buckets) {
+	for _, b := range aggregate.Histogram(e.live(), e.coll, q, buckets) {
 		out = append(out, TimelineBucket{Start: b.Span.Start, End: b.Span.End, Count: b.Count, Mass: b.Mass})
 	}
 	return out
 }
 
-// Delete tombstones an object by id.
+// Delete tombstones an object by id. Deleting an already-deleted object
+// is a no-op.
 func (e *Engine) Delete(id ObjectID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if int(id) >= len(e.coll.Objects) {
 		return fmt.Errorf("temporalir: unknown object %d", id)
+	}
+	if e.deleted[id] {
+		return nil
 	}
 	e.index.Delete(e.coll.Objects[id])
 	if e.deleted == nil {

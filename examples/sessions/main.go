@@ -75,7 +75,7 @@ func main() {
 		for j := range tracks {
 			tracks[j] = temporalir.ElemID(int(2000 * rng.Float64() * rng.Float64() * rng.Float64()))
 		}
-		smaller.AppendObject(temporalir.Interval{Start: start, End: start + hour}, tracks)
+		smaller.AppendObject(temporalir.NewInterval(start, start+hour), tracks)
 	}
 	parties := temporalir.SelfJoin(&smaller, 3)
 	fmt.Printf("concurrent session pairs sharing >=3 tracks: %d\n", len(parties))

@@ -43,7 +43,7 @@ func Histogram(ix Index, c *model.Collection, q model.Query, n int) []Bucket {
 		if i == n-1 {
 			hi = q.Interval.End
 		}
-		buckets[i].Span = model.Interval{Start: lo, End: hi}
+		buckets[i].Span = model.NewInterval(lo, hi)
 	}
 	ids := ix.Query(q)
 	for _, id := range ids {

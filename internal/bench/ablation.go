@@ -68,6 +68,7 @@ func RunAblations(cfg Config) {
 	hm := hint.EstimateM(ivs, span, hint.DefaultCostModelConfig())
 	dom, err := domain.Make(span.Start, span.End, hm)
 	if err != nil {
+		// lint:panic-ok benchmark harness; the span is valid by construction
 		panic(err)
 	}
 	h := hint.Build(dom, entries)

@@ -88,10 +88,7 @@ func (it *Iterator) Next(p *postings.Posting) bool {
 		return false
 	}
 	p.ID = model.ObjectID(it.prevID)
-	p.Interval = model.Interval{
-		Start: model.Timestamp(it.prevStart),
-		End:   model.Timestamp(it.prevStart + int64(dur) - 1),
-	}
+	p.Interval = model.NewInterval(model.Timestamp(it.prevStart), model.Timestamp(it.prevStart+int64(dur)-1))
 	return true
 }
 

@@ -110,11 +110,12 @@ func (ix *TIF) queryTemporalOnly(q model.Interval) []model.ObjectID {
 	return model.DedupIDs(out)
 }
 
-// SizeBytes is the compressed footprint.
+// SizeBytes is the compressed footprint: encoded bytes plus slice
+// headers, the per-element counts and the plan-order frequencies.
 func (ix *TIF) SizeBytes() int64 {
 	var total int64
 	for e := range ix.lists {
 		total += int64(cap(ix.lists[e])) + 24
 	}
-	return total + int64(len(ix.freqs))*12
+	return total + int64(len(ix.counts))*8 + int64(len(ix.freqs))*8
 }

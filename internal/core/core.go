@@ -87,7 +87,7 @@ func WithM(m int) Option {
 func resolveDomain(c *model.Collection, cfg config) domain.Domain {
 	span, ok := c.Span()
 	if !ok {
-		span = model.Interval{Start: 0, End: 0}
+		span = model.NewInterval(0, 0)
 	}
 	m := cfg.m
 	if m == 0 {

@@ -127,6 +127,11 @@ func Read(r io.Reader) (*model.Collection, error) {
 		if dur == 0 || dur > 1<<42 {
 			return nil, fmt.Errorf("encoding: object %d has implausible duration %d", i, dur)
 		}
+		// Bound the start so start+dur-1 cannot overflow into an
+		// inverted interval on corrupt input.
+		if start > 1<<62 || start < -(1<<62) {
+			return nil, fmt.Errorf("encoding: object %d has implausible start %d", i, start)
+		}
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("encoding: object %d nElems: %w", i, err)
@@ -146,7 +151,7 @@ func Read(r io.Reader) (*model.Collection, error) {
 		}
 		c.Objects = append(c.Objects, model.Object{
 			ID:       model.ObjectID(i),
-			Interval: model.Interval{Start: start, End: start + int64(dur) - 1},
+			Interval: model.NewInterval(start, start+int64(dur)-1),
 			Elems:    elems,
 		})
 	}

@@ -103,7 +103,7 @@ func Synthetic(cfg SyntheticConfig) *model.Collection {
 		for j := range elems {
 			elems[j] = model.ElemID(perm[elemZipf.Draw(rng)-1])
 		}
-		c.AppendObject(model.Interval{Start: start, End: end}, elems)
+		c.AppendObject(model.NewInterval(start, end), elems)
 	}
 	return c
 }
@@ -214,7 +214,7 @@ func realLike(s realShape) *model.Collection {
 		for j := range elems {
 			elems[j] = model.ElemID(elemZipf.Draw(rng) - 1)
 		}
-		c.AppendObject(model.Interval{Start: start, End: end}, elems)
+		c.AppendObject(model.NewInterval(start, end), elems)
 	}
 	return c
 }

@@ -86,7 +86,7 @@ func seededQuery(rng *rand.Rand, c *model.Collection, span model.Interval, exten
 		}
 		start := lo + model.Timestamp(rng.Int63n(int64(hi-lo)+1))
 		return model.Query{
-			Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+			Interval: model.NewInterval(start, start+model.Timestamp(extent)),
 			Elems:    elems,
 		}
 	}
@@ -107,7 +107,7 @@ func binQuery(rng *rand.Rand, c *model.Collection, span model.Interval, extent i
 	}
 	start := span.Start + model.Timestamp(rng.Int63n(maxStart+1))
 	return model.Query{
-		Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+		Interval: model.NewInterval(start, start+model.Timestamp(extent)),
 		Elems:    model.NormalizeElems(elems),
 	}
 }
@@ -197,7 +197,7 @@ func MixedPool(c *model.Collection, n int, seed int64) []model.Query {
 			}
 			start := span.Start + model.Timestamp(rng.Int63n(maxStart+1))
 			out = append(out, model.Query{
-				Interval: model.Interval{Start: start, End: start + model.Timestamp(extent)},
+				Interval: model.NewInterval(start, start+model.Timestamp(extent)),
 				Elems:    model.NormalizeElems(elems),
 			})
 			continue

@@ -121,16 +121,17 @@ const (
 func candidateRange(r Relation, q model.Interval) model.Interval {
 	switch r {
 	case RelBefore, RelMeets:
-		// Candidates end at or before q.Start.
-		return model.Interval{Start: farPast, End: q.Start}
+		// Candidates end at or before q.Start. Canon keeps the range
+		// well-formed even for queries beyond the far-past bound.
+		return model.Canon(farPast, q.Start)
 	case RelAfter, RelMetBy:
-		return model.Interval{Start: q.End, End: farFuture}
+		return model.Canon(q.End, farFuture)
 	case RelOverlaps, RelStarts, RelEquals, RelFinishedBy, RelContains:
 		// All touch q.Start.
-		return model.Interval{Start: q.Start, End: q.Start}
+		return model.NewInterval(q.Start, q.Start)
 	case RelOverlappedBy, RelFinishes, RelStartedBy:
 		// All touch q.End.
-		return model.Interval{Start: q.End, End: q.End}
+		return model.NewInterval(q.End, q.End)
 	default: // RelDuring
 		return q
 	}

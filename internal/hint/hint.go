@@ -176,10 +176,12 @@ func (ix *Index) Finalize() {
 		return
 	}
 	for l := range ix.levels {
+		assertDirectorySorted(&ix.levels[l], "Finalize")
 		for _, p := range ix.levels[l].parts {
 			sortByStart(p.OIn)
 			sortByStart(p.OAft)
 			sortByEnd(p.RIn)
+			assertPartitionSorted(p, "Finalize")
 		}
 	}
 	ix.dirty = false
@@ -204,6 +206,7 @@ func (ix *Index) Append(p postings.Posting) {
 // Insert adds one interval, maintaining subdivision order with binary-
 // search insertion (the update path of Section 5.5).
 func (ix *Index) Insert(p postings.Posting) {
+	assertNoTombstoneEntries([]postings.Posting{p}, "Insert")
 	ix.visitAssignments(p.Interval, func(level int, j uint32, original, endsInside bool) {
 		part := ix.levels[level].getOrCreate(j)
 		switch {
@@ -216,6 +219,7 @@ func (ix *Index) Insert(p postings.Posting) {
 		default:
 			part.RAft = append(part.RAft, p)
 		}
+		assertPartitionSorted(part, "Insert")
 	})
 	ix.live++
 }

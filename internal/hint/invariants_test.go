@@ -1,0 +1,38 @@
+//go:build invariants
+
+package hint
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+func TestInvariantsCompiledIn(t *testing.T) {
+	if !InvariantsEnabled {
+		t.Fatal("invariants tag set but InvariantsEnabled is false")
+	}
+}
+
+func TestPartitionAssertionFires(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected invariant panic on unsorted OIn, got none")
+		}
+	}()
+	p := &Partition{OIn: []postings.Posting{
+		{ID: 1, Interval: model.NewInterval(10, 20)},
+		{ID: 2, Interval: model.NewInterval(5, 9)},
+	}}
+	assertPartitionSorted(p, "test")
+}
+
+func TestTombstoneAssertionFires(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected invariant panic on tombstone entry, got none")
+		}
+	}()
+	assertNoTombstoneEntries([]postings.Posting{{ID: 1, Interval: postings.Tombstone}}, "test")
+}

@@ -121,7 +121,7 @@ func reportPartition(p *Partition, ob Obligations, q model.Interval, dst []model
 // the stabbing query of Berberich et al.'s original time-travel setting
 // (footnote 6 of the paper), a degenerate range query.
 func (ix *Index) Stab(t model.Timestamp, dst []model.ObjectID) []model.ObjectID {
-	return ix.RangeQuery(model.Interval{Start: t, End: t}, dst)
+	return ix.RangeQuery(model.NewInterval(t, t), dst)
 }
 
 // CountRange returns the number of live intervals overlapping q without

@@ -115,7 +115,7 @@ func rangeQuery(n *node, q model.Interval, dst []model.ObjectID) []model.ObjectI
 
 // Stab returns all intervals containing the time point.
 func (t *Tree) Stab(p model.Timestamp, dst []model.ObjectID) []model.ObjectID {
-	return t.RangeQuery(model.Interval{Start: p, End: p}, dst)
+	return t.RangeQuery(model.NewInterval(p, p), dst)
 }
 
 // Height returns the tree height (testing hook for balance).

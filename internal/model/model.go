@@ -35,6 +35,7 @@ type Interval struct {
 // use Canon to silently swap instead.
 func NewInterval(start, end Timestamp) Interval {
 	if start > end {
+		// lint:panic-ok documented constructor precondition; use Canon for untrusted endpoints
 		panic(fmt.Sprintf("model: invalid interval [%d, %d]", start, end))
 	}
 	return Interval{Start: start, End: end}
@@ -94,6 +95,7 @@ func (iv Interval) Union(other Interval) Interval {
 	return Interval{Start: st, End: en}
 }
 
+// String renders the interval as "[Start, End]".
 func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Start, iv.End) }
 
 // Object is a data object: an identifier, a lifespan interval and a set of

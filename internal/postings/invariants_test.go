@@ -1,0 +1,56 @@
+//go:build invariants
+
+package postings
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// mustPanic asserts fn panics — the invariants layer must abort loudly.
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected invariant panic, got none", name)
+		}
+	}()
+	fn()
+}
+
+func TestInvariantsCompiledIn(t *testing.T) {
+	if !InvariantsEnabled {
+		t.Fatal("invariants tag set but InvariantsEnabled is false")
+	}
+}
+
+func TestAssertionsFireOnUnsortedInputs(t *testing.T) {
+	unsorted := []model.ObjectID{3, 1, 2}
+	sorted := []model.ObjectID{1, 2, 3}
+	mustPanic(t, "IntersectSortedIDs", func() {
+		IntersectSortedIDs(unsorted, sorted, nil)
+	})
+	mustPanic(t, "ContainsSorted", func() {
+		ContainsSorted(unsorted, 2)
+	})
+	mustPanic(t, "MergeSortedIDLists", func() {
+		MergeSortedIDLists([][]model.ObjectID{unsorted})
+	})
+	mustPanic(t, "List.IntersectIDs", func() {
+		l := List{{ID: 5}, {ID: 2}}
+		l.IntersectIDs(sorted, nil)
+	})
+}
+
+func TestAssertionsPassOnSortedInputs(t *testing.T) {
+	a := []model.ObjectID{1, 2, 3}
+	b := []model.ObjectID{2, 3, 4}
+	got := IntersectSortedIDs(a, b, nil)
+	if !model.EqualIDs(got, []model.ObjectID{2, 3}) {
+		t.Fatalf("IntersectSortedIDs = %v", got)
+	}
+	if !ContainsSorted(a, 2) || ContainsSorted(a, 9) {
+		t.Fatal("ContainsSorted misbehaves under invariants")
+	}
+}

@@ -16,6 +16,7 @@ import (
 // (Section 5.5: deletions are logical, entries are located and flagged).
 // The sentinel overlaps no real interval, so every comparison-based path
 // skips it for free; bulk "no comparison" paths must test IsTombstone.
+// lint:interval-ok the deletion sentinel must violate Start <= End so it overlaps no real interval
 var Tombstone = model.Interval{Start: math.MaxInt64, End: math.MinInt64}
 
 // IsTombstone reports whether an interval is the deletion sentinel.
@@ -56,6 +57,7 @@ func (l *List) Append(p Posting) { *l = append(*l, p) }
 // Sort re-establishes the id order after bulk loading.
 func (l List) Sort() {
 	sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+	assertSortedList(l, "List.Sort")
 }
 
 // IsSorted reports whether the list is in ascending id order.
@@ -85,6 +87,8 @@ func (l List) TemporalFilter(q model.Interval, dst []model.ObjectID) []model.Obj
 // the ids present in both (ascending). This is the merge-sort intersection
 // of Algorithm 1 Line 8.
 func (l List) IntersectIDs(cands []model.ObjectID, dst []model.ObjectID) []model.ObjectID {
+	assertSortedIDs(cands, "List.IntersectIDs candidates")
+	assertSortedList(l, "List.IntersectIDs list")
 	i, j := 0, 0
 	for i < len(cands) && j < len(l) {
 		switch {
@@ -103,6 +107,8 @@ func (l List) IntersectIDs(cands []model.ObjectID, dst []model.ObjectID) []model
 
 // IntersectSortedIDs merge-intersects two ascending id slices.
 func IntersectSortedIDs(a, b, dst []model.ObjectID) []model.ObjectID {
+	assertSortedIDs(a, "IntersectSortedIDs a")
+	assertSortedIDs(b, "IntersectSortedIDs b")
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -122,6 +128,7 @@ func IntersectSortedIDs(a, b, dst []model.ObjectID) []model.ObjectID {
 // ContainsSorted reports whether id occurs in the ascending slice ids,
 // using binary search. Shared by the binary-search intersection variants.
 func ContainsSorted(ids []model.ObjectID, id model.ObjectID) bool {
+	assertSortedIDs(ids, "ContainsSorted")
 	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
 	return i < len(ids) && ids[i] == id
 }
@@ -135,10 +142,13 @@ func MergeSortedIDLists(lists [][]model.ObjectID) []model.ObjectID {
 	}
 	out := make([]model.ObjectID, 0, total)
 	for _, l := range lists {
+		assertSortedIDs(l, "MergeSortedIDLists input")
 		out = append(out, l...)
 	}
 	model.SortIDs(out)
-	return model.DedupIDs(out)
+	out = model.DedupIDs(out)
+	assertUniqueSortedIDs(out, "MergeSortedIDLists output")
+	return out
 }
 
 // RefValue returns the reference time point of an object replicated across

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearchInsertDelete hammers the server with parallel
+// ranked searches (the path that lazily builds the engine's scorer),
+// plain searches, timelines, inserts and deletes. Under -race this is
+// the regression test for the concurrency gate the paper's
+// multiple-users throughput setting requires.
+func TestConcurrentSearchInsertDelete(t *testing.T) {
+	ts := newTestServer(t)
+
+	do := func(req *http.Request) {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 30; i++ {
+				switch w % 6 {
+				case 0: // ranked search: exercises lazy scorer init
+					req, _ := http.NewRequest("GET", ts.URL+"/search?start=0&end=300&q=alpha&k=2", nil)
+					do(req)
+				case 1: // plain search
+					req, _ := http.NewRequest("GET", ts.URL+"/search?start=0&end=300&q=beta", nil)
+					do(req)
+				case 2: // insert
+					body := fmt.Sprintf(`{"start":%d,"end":%d,"terms":["alpha","w%d"]}`, i, i+10, w)
+					req, _ := http.NewRequest("POST", ts.URL+"/objects", strings.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					do(req)
+				case 3: // timeline
+					req, _ := http.NewRequest("GET", ts.URL+"/timeline?start=0&end=300&q=alpha&buckets=5", nil)
+					do(req)
+				case 4: // stats (Len + SizeBytes)
+					req, _ := http.NewRequest("GET", ts.URL+"/stats", nil)
+					do(req)
+				case 5: // delete (mostly 404s past the first few ids — fine)
+					req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/objects/%d", ts.URL, i), nil)
+					do(req)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+}

@@ -51,7 +51,7 @@ func New(c *model.Collection, opts ...Option) *Index {
 	}
 	span, ok := c.Span()
 	if !ok {
-		span = model.Interval{Start: 0, End: 0}
+		span = model.NewInterval(0, 0)
 	}
 	ix := &Index{
 		numSlices: cfg.numSlices,

@@ -72,7 +72,7 @@ func RandomCollection(cfg CollectionConfig) *model.Collection {
 			}
 			elems[j] = model.ElemID(e)
 		}
-		c.AppendObject(model.Interval{Start: start, End: end}, elems)
+		c.AppendObject(model.NewInterval(start, end), elems)
 	}
 	return c
 }
@@ -110,7 +110,7 @@ func RandomQueries(cfg CollectionConfig, n int, seed int64) []model.Query {
 			}
 			elems[j] = model.ElemID(e)
 		}
-		qs[i] = model.Query{Interval: model.Interval{Start: start, End: end}, Elems: model.NormalizeElems(elems)}
+		qs[i] = model.Query{Interval: model.NewInterval(start, end), Elems: model.NormalizeElems(elems)}
 	}
 	return qs
 }

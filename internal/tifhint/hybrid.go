@@ -50,7 +50,7 @@ func NewHybrid(c *model.Collection, opts ...Option) *HybridIndex {
 	}
 	span, ok := c.Span()
 	if !ok {
-		span = model.Interval{Start: 0, End: 0}
+		span = model.NewInterval(0, 0)
 	}
 	ix := &HybridIndex{
 		hints:     make([]*idHint, c.DictSize),

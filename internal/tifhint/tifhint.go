@@ -69,7 +69,7 @@ func WithCostModelM() Option {
 func sharedDomain(c *model.Collection, m int) domain.Domain {
 	span, ok := c.Span()
 	if !ok {
-		span = model.Interval{Start: 0, End: 0}
+		span = model.NewInterval(0, 0)
 	}
 	if m > domain.MaxBits {
 		m = domain.MaxBits

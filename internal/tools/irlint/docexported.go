@@ -1,0 +1,79 @@
+package irlint
+
+import (
+	"go/ast"
+)
+
+// docPackages are the packages forming the public surface: the root
+// library package and the shared data model every index builds on.
+var docPackages = map[string]bool{
+	".":              true,
+	"internal/model": true,
+}
+
+// AnalyzerDocExported requires a doc comment on every exported top-level
+// identifier (types, functions, methods, vars, consts) in the root
+// package and internal/model — the surface users and the other 20+
+// internal packages program against.
+func AnalyzerDocExported() *Analyzer {
+	const name = "doc-exported"
+	return &Analyzer{
+		Name: name,
+		Doc:  "exported identifiers in the root package and internal/model carry doc comments",
+		Run: func(p *Package) []Diagnostic {
+			if !docPackages[relPath(p.Path)] {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if d.Name.IsExported() && d.Doc == nil {
+							out = append(out, p.diag(name, d.Name.Pos(),
+								"exported %s %s has no doc comment", funcKind(d), d.Name.Name))
+						}
+					case *ast.GenDecl:
+						out = append(out, p.checkGenDecl(name, d)...)
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl flags exported specs lacking both a spec-level and a
+// decl-level doc comment. A grouped decl's doc covers its specs only when
+// the group declares a single spec; grouped consts/vars need per-spec
+// docs or a decl doc (the usual Go convention for enum blocks).
+func (p *Package) checkGenDecl(name string, d *ast.GenDecl) []Diagnostic {
+	var out []Diagnostic
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+				out = append(out, p.diag(name, s.Name.Pos(),
+					"exported type %s has no doc comment", s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || d.Doc != nil {
+				continue
+			}
+			for _, id := range s.Names {
+				if id.IsExported() {
+					out = append(out, p.diag(name, id.Pos(),
+						"exported %s has no doc comment", id.Name))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package irlint
+
+import (
+	"go/ast"
+)
+
+// intervalDirective suppresses an interval-canon finding, for the rare
+// sentinel that must violate Start <= End by design (postings.Tombstone).
+const intervalDirective = "lint:interval-ok"
+
+// modelPath is the package that owns Interval and its constructors.
+const modelPath = ModulePath + "/internal/model"
+
+// AnalyzerIntervalCanon flags composite model.Interval literals with
+// explicit elements outside internal/model. Intervals must be built
+// through NewInterval (panics on inversion) or Canon (swaps endpoints):
+// a raw literal can carry Start > End, which silently breaks every
+// Overlaps-based filter in the index family. The zero literal
+// Interval{} is canonical and allowed.
+func AnalyzerIntervalCanon() *Analyzer {
+	const name = "interval-canon"
+	return &Analyzer{
+		Name: name,
+		Doc:  "model.Interval composite literals outside internal/model must go through NewInterval or Canon",
+		Run: func(p *Package) []Diagnostic {
+			if p.Path == modelPath || p.Info == nil {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					lit, ok := n.(*ast.CompositeLit)
+					if !ok || len(lit.Elts) == 0 {
+						return true
+					}
+					tv, ok := p.Info.Types[lit]
+					if !ok || !typeIs(tv.Type, modelPath, "Interval") {
+						return true
+					}
+					if p.allowed(f, lit.Pos(), intervalDirective) {
+						return true
+					}
+					out = append(out, p.diag(name, lit.Pos(),
+						"composite model.Interval literal; use model.NewInterval or model.Canon (or annotate with // %s <reason>)",
+						intervalDirective))
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

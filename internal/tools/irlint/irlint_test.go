@@ -1,0 +1,472 @@
+package irlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// modelStub is a minimal stand-in for repro/internal/model, enough for
+// fixtures to type-check without loading the real repository.
+const modelStub = `package model
+
+type Timestamp = int64
+
+type ObjectID uint32
+
+type Interval struct {
+	Start Timestamp
+	End   Timestamp
+}
+
+func NewInterval(start, end Timestamp) Interval { return Interval{Start: start, End: end} }
+
+func Canon(a, b Timestamp) Interval { return Interval{Start: a, End: b}  }
+`
+
+// checkFixture type-checks one fixture package (import path, source) with
+// the model stub available, returning the loaded Package.
+func checkFixture(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	parse := func(name, source string) *ast.File {
+		f, err := parser.ParseFile(fset, name, source, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		return f
+	}
+
+	newInfo := func() *types.Info {
+		return &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+
+	imp := &moduleImporter{
+		mod: make(map[string]*types.Package),
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+	cfg := types.Config{Importer: imp}
+
+	modelFile := parse("model.go", modelStub)
+	modelPkg, err := cfg.Check(modelPath, fset, []*ast.File{modelFile}, newInfo())
+	if err != nil {
+		t.Fatalf("check model stub: %v", err)
+	}
+	imp.mod[modelPath] = modelPkg
+
+	file := parse("fixture.go", src)
+	info := newInfo()
+	tpkg, err := cfg.Check(path, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("check fixture: %v", err)
+	}
+	return &Package{Path: path, Fset: fset, Files: []*ast.File{file}, Info: info, Types: tpkg}
+}
+
+// analyzerByName fetches one analyzer from the suite.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer %q", name)
+	return nil
+}
+
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string // test case
+		analyzer string
+		path     string // fixture import path
+		src      string
+		want     int      // number of findings
+		contains []string // substrings expected in messages
+	}{
+		{
+			name:     "interval literal flagged",
+			analyzer: "interval-canon",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/model"
+
+func bad() model.Interval { return model.Interval{Start: 5, End: 1} }
+`,
+			want:     1,
+			contains: []string{"NewInterval"},
+		},
+		{
+			name:     "constructor and zero literal conform",
+			analyzer: "interval-canon",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/model"
+
+func good() model.Interval {
+	var zero model.Interval
+	_ = zero
+	_ = model.Interval{}
+	return model.NewInterval(1, 5)
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "interval escape hatch honored",
+			analyzer: "interval-canon",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/model"
+
+// lint:interval-ok sentinel by design
+var sentinel = model.Interval{Start: 9, End: 0}
+`,
+			want: 0,
+		},
+		{
+			name:     "literal inside model package conforms",
+			analyzer: "interval-canon",
+			path:     modelPath,
+			src: `package model
+
+type Timestamp = int64
+type Interval struct{ Start, End Timestamp }
+
+func mk() Interval { return Interval{Start: 1, End: 2} }
+`,
+			want: 0,
+		},
+		{
+			name:     "map range into ordered sink flagged",
+			analyzer: "map-order",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func bad(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"iteration order"},
+		},
+		{
+			name:     "map range sorted afterwards conforms",
+			analyzer: "map-order",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sort"
+
+func good(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "map range with escape hatch conforms",
+			analyzer: "map-order",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func good(m map[int]string) []string {
+	var out []string
+	// lint:map-order-ok order established by caller
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "slice range conforms",
+			analyzer: "map-order",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func good(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "map range appending to loop-local conforms",
+			analyzer: "map-order",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func good(m map[int][]string) int {
+	n := 0
+	for _, v := range m {
+		var local []string
+		local = append(local, v...)
+		n += len(local)
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "bare panic flagged",
+			analyzer: "panic-policy",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func bad() {
+	panic("boom")
+}
+`,
+			want:     1,
+			contains: []string{"lint:panic-ok"},
+		},
+		{
+			name:     "annotated panic conforms",
+			analyzer: "panic-policy",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func good(n int) {
+	if n < 0 {
+		// lint:panic-ok documented precondition
+		panic("n must be non-negative")
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "same-line panic annotation conforms",
+			analyzer: "panic-policy",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func good(err error) {
+	if err != nil {
+		panic(err) // lint:panic-ok cannot fail
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "unaccounted dynamic field flagged",
+			analyzer: "size-accounting",
+			path:     ModulePath + "/internal/tif",
+			src: `package tif
+
+type Index struct {
+	lists [][]uint32
+	extra []byte
+	live  int
+}
+
+func (ix *Index) SizeBytes() int64 {
+	var total int64
+	for e := range ix.lists {
+		total += int64(cap(ix.lists[e])) * 4
+	}
+	return total
+}
+`,
+			want:     1,
+			contains: []string{"extra"},
+		},
+		{
+			name:     "helper-accounted fields conform",
+			analyzer: "size-accounting",
+			path:     ModulePath + "/internal/tif",
+			src: `package tif
+
+type Index struct {
+	lists [][]uint32
+	extra []byte
+	live  int
+}
+
+func (ix *Index) SizeBytes() int64 { return listBytes(ix.lists) + extraBytes(ix) }
+
+func listBytes(l [][]uint32) int64 { return int64(len(l)) }
+
+func extraBytes(ix *Index) int64 { return int64(cap(ix.extra)) }
+`,
+			want: 0,
+		},
+		{
+			name:     "size escape hatch honored",
+			analyzer: "size-accounting",
+			path:     ModulePath + "/internal/tif",
+			src: `package tif
+
+type Index struct {
+	lists   [][]uint32
+	scratch []byte // lint:size-ok transient buffer, not resident index state
+}
+
+func (ix *Index) SizeBytes() int64 { return int64(len(ix.lists)) * 24 }
+`,
+			want: 0,
+		},
+		{
+			name:     "size accounting ignores non-index packages",
+			analyzer: "size-accounting",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+type Index struct {
+	lists [][]uint32
+}
+
+func (ix *Index) SizeBytes() int64 { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name:     "undocumented exported symbols flagged",
+			analyzer: "doc-exported",
+			path:     modelPath,
+			src: `package model
+
+type Exposed struct{}
+
+func Helper() {}
+
+func (e Exposed) Method() {}
+`,
+			want:     3,
+			contains: []string{"Exposed", "Helper", "Method"},
+		},
+		{
+			name:     "documented and unexported symbols conform",
+			analyzer: "doc-exported",
+			path:     modelPath,
+			src: `package model
+
+// Exposed is documented.
+type Exposed struct{}
+
+// Helper is documented.
+func Helper() {}
+
+func hidden() {}
+`,
+			want: 0,
+		},
+		{
+			name:     "doc rule skips other internal packages",
+			analyzer: "doc-exported",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+func Undocumented() {}
+`,
+			want: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := checkFixture(t, tc.path, tc.src)
+			diags := analyzerByName(t, tc.analyzer).Run(p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d finding(s), want %d:\n%s", len(diags), tc.want, diagList(diags))
+			}
+			all := diagList(diags)
+			for _, sub := range tc.contains {
+				if !strings.Contains(all, sub) {
+					t.Errorf("findings lack %q:\n%s", sub, all)
+				}
+			}
+			for _, d := range diags {
+				if d.Pos.Line <= 0 || d.Pos.Filename == "" {
+					t.Errorf("finding lacks file:line position: %+v", d)
+				}
+			}
+		})
+	}
+}
+
+func diagList(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// TestRunSortsDiagnostics checks the combined runner orders findings by
+// position for stable CI output.
+func TestRunSortsDiagnostics(t *testing.T) {
+	p := checkFixture(t, ModulePath+"/internal/fix", `package fix
+
+func b() { panic("two") }
+
+func a() { panic("one") }
+`)
+	diags := Run([]*Package{p}, []*Analyzer{AnalyzerPanicPolicy()})
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2", len(diags))
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted: %v", diags)
+	}
+}
+
+// TestLoadRepository smoke-tests the loader against the live module: it
+// must load every package with type information and the suite must be
+// clean (the same gate CI enforces via cmd/irlint).
+func TestLoadRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := make(map[string]bool)
+	for _, p := range pkgs {
+		byPath[p.Path] = true
+		if p.Types == nil {
+			t.Errorf("%s: no type information", p.Path)
+		}
+	}
+	for _, want := range []string{ModulePath, modelPath, ModulePath + "/internal/hint"} {
+		if !byPath[want] {
+			t.Errorf("loader missed package %s", want)
+		}
+	}
+	if diags := Run(pkgs, Analyzers()); len(diags) > 0 {
+		t.Errorf("repository not lint-clean:\n%s", diagList(diags))
+	}
+}

@@ -1,0 +1,53 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// panicDirective marks a documented constructor-precondition panic site.
+const panicDirective = "lint:panic-ok"
+
+// AnalyzerPanicPolicy flags every call to the builtin panic that is not
+// annotated with // lint:panic-ok. The repository's policy (LINTING.md)
+// confines panics to documented constructor preconditions — query paths
+// and the server must degrade through errors, never crash the process.
+func AnalyzerPanicPolicy() *Analyzer {
+	const name = "panic-policy"
+	return &Analyzer{
+		Name: name,
+		Doc:  "panic only at documented precondition sites annotated // lint:panic-ok",
+		Run: func(p *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := call.Fun.(*ast.Ident)
+					if !ok || fn.Name != "panic" {
+						return true
+					}
+					// With type info, skip shadowing user functions named
+					// "panic"; without it, assume the builtin.
+					if p.Info != nil {
+						if obj := p.Info.Uses[fn]; obj != nil {
+							if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+								return true
+							}
+						}
+					}
+					if p.allowed(f, call.Pos(), panicDirective) {
+						return true
+					}
+					out = append(out, p.diag(name, call.Pos(),
+						"undocumented panic; return an error, or annotate a true precondition with // %s <reason>",
+						panicDirective))
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
