@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint invariants bench race fuzz examples experiments clean
+.PHONY: all build test vet lint invariants bench microbench race fuzz examples experiments clean
 
 all: build vet lint test
 
@@ -22,15 +22,22 @@ race:
 	$(GO) test -race ./...
 
 invariants:
-	$(GO) test -tags invariants ./internal/postings ./internal/hint
+	$(GO) test -tags invariants . ./internal/domain ./internal/postings ./internal/hint
 
+# Deterministic perf snapshot: fixed seed and workload, per-method query
+# latency and index size, written as JSON for the perf trajectory.
 bench:
+	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr2.json
+
+# Full Go microbenchmark sweep (slow; not part of the gate).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 fuzz:
 	$(GO) test -fuzz=FuzzIterator -fuzztime=30s ./internal/compress/
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/textutil/
 	$(GO) test -fuzz=FuzzIntersect -fuzztime=30s ./internal/postings/
+	$(GO) test -fuzz=FuzzDomainRoundTrip -fuzztime=30s ./internal/domain/
 
 examples:
 	$(GO) run ./examples/quickstart

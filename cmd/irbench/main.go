@@ -26,6 +26,7 @@ func main() {
 		queries = flag.Int("queries", 1000, "queries per measurement point")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("json", "", "write the experiment's JSON artifact to this path (perfjson)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, NumQueries: *queries, Seed: *seed, Out: os.Stdout}
+	cfg := bench.Config{Scale: *scale, NumQueries: *queries, Seed: *seed, Out: os.Stdout, JSONPath: *jsonOut}
 
 	run := func(e bench.Experiment) {
 		fmt.Printf("== %s: %s (scale=%g, queries=%d) ==\n", e.Name, e.Title, *scale, *queries)

@@ -55,12 +55,18 @@ func (b *Builder) Build(m Method, opts Options) (*Engine, error) {
 // (Search and friends) run in parallel, mutations (Insert, Delete,
 // RefreshScorer) serialize behind a writer lock.
 type Engine struct {
-	mu      sync.RWMutex
-	dict    *dict.Dictionary
-	coll    *Collection
-	index   Index
-	method  Method
-	scorer  *rank.Scorer
+	mu sync.RWMutex
+	// method is immutable after construction and needs no guard.
+	method Method
+	// irlint:guarded-by mu
+	dict *dict.Dictionary
+	// irlint:guarded-by mu
+	coll *Collection
+	// irlint:guarded-by mu
+	index Index
+	// irlint:guarded-by mu
+	scorer *rank.Scorer
+	// irlint:guarded-by mu
 	deleted map[ObjectID]bool
 }
 
@@ -104,15 +110,24 @@ func (li liveIndex) SizeBytes() int64 { return li.inner.SizeBytes() }
 
 // live returns the tombstone-filtering view of the engine's index.
 // Callers must hold e.mu.
+//
+// irlint:locked mu
 func (e *Engine) live() liveIndex {
+	assertEngineLocked(&e.mu, "Engine.live")
 	return liveIndex{inner: e.index, deleted: e.deleted}
 }
 
 // Method returns the index implementation in use.
 func (e *Engine) Method() Method { return e.method }
 
-// Index exposes the underlying index for advanced use.
-func (e *Engine) Index() Index { return e.index }
+// Index exposes the underlying index for advanced use. The returned
+// index is only safe for concurrent reads; coordinate with the engine's
+// mutation methods externally.
+func (e *Engine) Index() Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index
+}
 
 // Len returns the number of live (non-tombstoned) objects.
 func (e *Engine) Len() int {

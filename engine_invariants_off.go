@@ -1,0 +1,13 @@
+//go:build !invariants
+
+package temporalir
+
+import "sync"
+
+// engineInvariantsEnabled reports whether the engine's runtime assertion
+// layer is compiled in. See engine_invariants_on.go.
+const engineInvariantsEnabled = false
+
+// assertEngineLocked is a no-op in normal builds: it inlines to nothing,
+// so the lock-contract checks cost nothing on hot query paths.
+func assertEngineLocked(*sync.RWMutex, string) {}

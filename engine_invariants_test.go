@@ -1,0 +1,46 @@
+//go:build invariants
+
+package temporalir
+
+import "testing"
+
+// TestAssertEngineLockedFires pins the dynamic half of the lock-guard
+// contract: calling the lock-requiring live() helper without e.mu held
+// must abort under the invariants build. The static analyzer proves the
+// lock is taken on every in-tree path; this assertion catches future
+// paths the linter's annotations do not cover.
+func TestAssertEngineLockedFires(t *testing.T) {
+	if !engineInvariantsEnabled {
+		t.Fatal("invariants build tag set but engineInvariantsEnabled is false")
+	}
+	b := NewBuilder()
+	b.Add(1, 5, "alpha")
+	e, err := b.Build(TIF, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("live() without e.mu held: expected invariant panic, got none")
+		}
+	}()
+	// lint:guard-ok deliberate contract violation under test
+	e.live()
+}
+
+// TestAssertEngineLockedSilentUnderLock checks both lock grades satisfy
+// the assertion.
+func TestAssertEngineLockedSilentUnderLock(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1, 5, "alpha")
+	e, err := b.Build(TIF, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	e.mu.RLock()
+	e.live()
+	e.mu.RUnlock()
+	e.mu.Lock()
+	e.live()
+	e.mu.Unlock()
+}

@@ -32,6 +32,9 @@ type Config struct {
 	Seed int64
 	// Out receives the rendered tables.
 	Out io.Writer
+	// JSONPath, when set, receives the machine-readable artifact of
+	// experiments that produce one (perfjson).
+	JSONPath string
 }
 
 // Normalize fills defaults.
@@ -69,6 +72,7 @@ func Experiments() []Experiment {
 		{"table7", "Table 7: deletion update costs", RunTable7},
 		{"ablation", "Ablations: m tuning, traversal order, de-dup, compression", RunAblations},
 		{"verify", "Verification: result equivalence of every index vs brute force", RunVerify},
+		{"perfjson", "Deterministic per-method perf snapshot written as JSON", RunPerfJSON},
 	}
 }
 
@@ -197,6 +201,8 @@ func timeIt(fn func()) float64 {
 // shortName maps methods to the labels the paper's tables use.
 func shortName(m temporalir.Method) string {
 	switch m {
+	case temporalir.TIF:
+		return "tIF"
 	case temporalir.TIFSlicing:
 		return "tIF+Slicing"
 	case temporalir.TIFSharding:

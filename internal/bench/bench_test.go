@@ -27,8 +27,8 @@ func TestConfigNormalize(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(exps))
 	}
 	for _, e := range exps {
 		if e.Run == nil || e.Name == "" || e.Title == "" {

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	temporalir "repro"
+)
+
+// PerfMethod is one per-method row of the JSON perf artifact.
+type PerfMethod struct {
+	Method          string  `json:"method"`
+	Label           string  `json:"label"`
+	BuildSeconds    float64 `json:"build_seconds"`
+	SizeBytes       int64   `json:"size_bytes"`
+	QueryMicrosMean float64 `json:"query_micros_mean"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+	ResultRows      int     `json:"result_rows"`
+}
+
+// PerfReport is the BENCH_pr*.json schema: one deterministic workload
+// (fixed seed, fixed scale), every method of the family measured on it.
+// ResultRows is a workload checksum — it must be identical across methods
+// and across runs, so regressions in timing are comparable run to run
+// while correctness drift is immediately visible.
+type PerfReport struct {
+	Scale      float64      `json:"scale"`
+	NumQueries int          `json:"num_queries"`
+	Seed       int64        `json:"seed"`
+	Objects    int          `json:"objects"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Methods    []PerfMethod `json:"methods"`
+}
+
+// RunPerfJSON measures every index method — build time, resident size and
+// query latency — on the default synthetic dataset under the paper's
+// default query workload, both seeded from cfg.Seed. The rendered table
+// goes to cfg.Out; when cfg.JSONPath is set the report is also written
+// there as indented JSON, seeding the repository's perf trajectory
+// (BENCH_pr2.json and successors).
+func RunPerfJSON(cfg Config) {
+	cfg = cfg.Normalize()
+	coll := syntheticDefault(cfg, nil)
+	queries := defaultWorkload(coll, cfg)
+	report := PerfReport{
+		Scale:      cfg.Scale,
+		NumQueries: len(queries),
+		Seed:       cfg.Seed,
+		Objects:    coll.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
+	tbl := &Table{
+		Title:  "Deterministic perf snapshot (per-method query latency + index size)",
+		Header: []string{"method", "build s", "size MB", "query us", "queries/s", "rows"},
+	}
+	for _, m := range methods {
+		ix, bs := MeasureBuild(m, coll, temporalir.Options{})
+		rows := 0
+		for _, q := range queries {
+			rows += len(ix.Query(q))
+		}
+		qps := Throughput(ix, queries)
+		micros := 0.0
+		if qps > 0 {
+			micros = 1e6 / qps
+		}
+		report.Methods = append(report.Methods, PerfMethod{
+			Method:          string(m),
+			Label:           shortName(m),
+			BuildSeconds:    bs.Seconds,
+			SizeBytes:       ix.SizeBytes(),
+			QueryMicrosMean: micros,
+			QueriesPerSec:   qps,
+			ResultRows:      rows,
+		})
+		tbl.Add(shortName(m), f2(bs.Seconds), f2(bs.SizeMB), f1(micros), f0(qps), fmt.Sprint(rows))
+	}
+	tbl.Fprint(cfg.Out)
+
+	if cfg.JSONPath == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "perfjson: marshal: %v\n", err)
+		return
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(cfg.JSONPath, blob, 0o644); err != nil {
+		fmt.Fprintf(cfg.Out, "perfjson: write %s: %v\n", cfg.JSONPath, err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s\n", cfg.JSONPath)
+}

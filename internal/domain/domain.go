@@ -67,6 +67,7 @@ func (d Domain) Disc(t model.Timestamp) uint32 {
 	off := uint64(t - d.Min)
 	hi, lo := bits.Mul64(off, uint64(d.Cells()))
 	q, _ := bits.Div64(hi, lo, d.span)
+	assertCell(d, uint32(q), "Disc")
 	return uint32(q)
 }
 
@@ -78,12 +79,16 @@ func (d Domain) DiscInterval(iv model.Interval) (lo, hi uint32) {
 // Prefix returns the index of the level-l partition containing grid cell v,
 // i.e. the l-bit prefix of the M-bit value v.
 func (d Domain) Prefix(level int, v uint32) uint32 {
+	assertLevel(d, level, "Prefix")
+	assertCell(d, v, "Prefix")
 	return v >> uint(d.M-level)
 }
 
 // PartitionExtent returns the grid-cell range [lo, hi] covered by partition
 // j at the given level.
 func (d Domain) PartitionExtent(level int, j uint32) (lo, hi uint32) {
+	assertLevel(d, level, "PartitionExtent")
+	assertPartition(d, level, j, "PartitionExtent")
 	width := uint32(1) << uint(d.M-level)
 	return j * width, j*width + width - 1
 }

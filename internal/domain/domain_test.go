@@ -154,6 +154,91 @@ func TestDiscIntervalOrdered(t *testing.T) {
 	}
 }
 
+// TestBoundaryAndLevelMonotonicity is the property-style table test for
+// the grid's boundary behavior: cell 0 and cell 2^m-1 map exactly to the
+// domain endpoints, clamping holds outside, and rescaling to every
+// hierarchy level is monotone and properly nested.
+func TestBoundaryAndLevelMonotonicity(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, max model.Timestamp
+		m        int
+	}{
+		{"degenerate unit span m=0", 0, 0, 0},
+		{"two-unit span m=1", 0, 1, 1},
+		{"offset span m=4", -500, 499, 4},
+		{"span smaller than grid m=6", 10, 25, 6},
+		{"dense grid m=10", 0, 1 << 16, 10},
+		{"max bits, huge offset span", 1 << 40, (1 << 40) + (1 << 33), MaxBits},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(tc.min, tc.max, tc.m)
+			top := d.Cells() - 1
+
+			// Boundary values: the endpoints hit cells 0 and 2^m-1, and
+			// clamping pins everything outside.
+			if got := d.Disc(tc.min); got != 0 {
+				t.Errorf("Disc(min) = %d, want 0", got)
+			}
+			if got := d.Disc(tc.max); got != top {
+				t.Errorf("Disc(max) = %d, want %d", got, top)
+			}
+			if got := d.Disc(tc.min - 1); got != 0 {
+				t.Errorf("Disc(min-1) = %d, want clamp to 0", got)
+			}
+			if got := d.Disc(tc.max + 1); got != top {
+				t.Errorf("Disc(max+1) = %d, want clamp to %d", got, top)
+			}
+
+			// Deterministic sample of cells, always including both
+			// boundary cells.
+			cells := []uint32{0, top}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 64; i++ {
+				cells = append(cells, uint32(rng.Intn(int(d.Cells()))))
+			}
+
+			for level := 0; level <= d.M; level++ {
+				lastPart := (uint32(1) << uint(level)) - 1
+				// Boundary cells rescale to the boundary partitions.
+				if got := d.Prefix(level, 0); got != 0 {
+					t.Errorf("Prefix(%d, 0) = %d, want 0", level, got)
+				}
+				if got := d.Prefix(level, top); got != lastPart {
+					t.Errorf("Prefix(%d, top) = %d, want %d", level, got, lastPart)
+				}
+				for _, v := range cells {
+					j := d.Prefix(level, v)
+					// Rescaling stays on the level's grid.
+					if j > lastPart {
+						t.Fatalf("Prefix(%d, %d) = %d beyond last partition %d", level, v, j, lastPart)
+					}
+					// The partition's extent contains the cell (round trip).
+					lo, hi := d.PartitionExtent(level, j)
+					if v < lo || v > hi {
+						t.Fatalf("cell %d outside its level-%d partition extent [%d,%d]", v, level, lo, hi)
+					}
+					// Nesting: the parent level's prefix is the halved prefix.
+					if level > 0 {
+						if parent := d.Prefix(level-1, v); parent != j>>1 {
+							t.Fatalf("Prefix(%d, %d) = %d, want parent %d of level-%d partition %d", level-1, v, parent, j>>1, level, j)
+						}
+					}
+					// Monotonicity of rescaling: v <= w implies
+					// Prefix(level, v) <= Prefix(level, w).
+					for _, w := range cells {
+						if v <= w && d.Prefix(level, v) > d.Prefix(level, w) {
+							t.Fatalf("rescaling not monotone at level %d: Prefix(%d)=%d > Prefix(%d)=%d",
+								level, v, d.Prefix(level, v), w, d.Prefix(level, w))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestExpandCovers(t *testing.T) {
 	d := New(0, 99, 4)
 	bigger := d.Expand(250)

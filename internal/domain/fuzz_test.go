@@ -1,0 +1,101 @@
+package domain
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzDomainRoundTrip fuzzes the discretization round trip that HINT's
+// pruning correctness rests on: discretize an interval, rescale its
+// endpoints to every hierarchy level, and check (1) the level extents of
+// the prefix partitions contain the original cells, (2) rescaling never
+// leaves the level's grid, and (3) grid-range containment agrees with
+// raw-interval Overlap — two intervals overlapping in raw time must
+// overlap on the grid at every level (monotone mapping: no false
+// negatives, so a HINT traversal can never prune a qualifying partition).
+func FuzzDomainRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(999), uint8(4), int64(10), int64(25), int64(20), int64(40))
+	f.Add(int64(-500), int64(1000), uint8(1), int64(-100), int64(5), int64(0), int64(0))
+	f.Add(int64(1<<40), int64(1<<33), uint8(30), int64(1<<40), int64(1<<20), int64(1<<41), int64(9))
+	f.Add(int64(5), int64(0), uint8(0), int64(5), int64(0), int64(5), int64(0))
+	f.Fuzz(func(t *testing.T, min, span int64, mRaw uint8, aStart, aLen, bStart, bLen int64) {
+		const maxSpan = int64(1) << 41
+		if span < 0 {
+			span = -(span + 1)
+		}
+		span %= maxSpan
+		if min > maxSpan {
+			min = maxSpan
+		}
+		if min < -maxSpan {
+			min = -maxSpan
+		}
+		m := int(mRaw) % (MaxBits + 1)
+		d, err := Make(min, min+model.Timestamp(span), m)
+		if err != nil {
+			t.Skip()
+		}
+
+		clamp := func(v int64) model.Timestamp {
+			if v < int64(d.Min) {
+				return d.Min
+			}
+			if v > int64(d.Max) {
+				return d.Max
+			}
+			return model.Timestamp(v)
+		}
+		mkInterval := func(start, length int64) model.Interval {
+			if length < 0 {
+				length = -(length + 1)
+			}
+			length %= maxSpan
+			s := clamp(start)
+			e := clamp(start + length)
+			return model.NewInterval(s, e)
+		}
+		a := mkInterval(aStart, aLen)
+		b := mkInterval(bStart, bLen)
+
+		for _, iv := range []model.Interval{a, b} {
+			lo, hi := d.DiscInterval(iv)
+			if lo > hi {
+				t.Fatalf("DiscInterval(%v) inverted: [%d, %d]", iv, lo, hi)
+			}
+			if hi >= d.Cells() {
+				t.Fatalf("DiscInterval(%v) off grid: hi %d >= cells %d", iv, hi, d.Cells())
+			}
+			// Round trip through every level: the prefix partition's
+			// extent must contain the cell it was derived from.
+			for level := 0; level <= d.M; level++ {
+				for _, v := range [2]uint32{lo, hi} {
+					j := d.Prefix(level, v)
+					if uint64(j) >= uint64(1)<<uint(level) {
+						t.Fatalf("Prefix(%d, %d) = %d leaves the level grid", level, v, j)
+					}
+					elo, ehi := d.PartitionExtent(level, j)
+					if v < elo || v > ehi {
+						t.Fatalf("cell %d outside level-%d partition %d extent [%d, %d]", v, level, j, elo, ehi)
+					}
+				}
+			}
+		}
+
+		// Containment agreement: raw overlap implies grid overlap at
+		// every level (the sound direction; the grid may over-approximate
+		// but must never prune a real overlap).
+		if a.Overlaps(b) {
+			alo, ahi := d.DiscInterval(a)
+			blo, bhi := d.DiscInterval(b)
+			for level := 0; level <= d.M; level++ {
+				af, al := d.Prefix(level, alo), d.Prefix(level, ahi)
+				bf, bl := d.Prefix(level, blo), d.Prefix(level, bhi)
+				if al < bf || bl < af {
+					t.Fatalf("raw overlap lost on the level-%d grid: a=[%d,%d] b=[%d,%d] (raw a=%v b=%v)",
+						level, af, al, bf, bl, a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,16 @@
+//go:build !invariants
+
+package domain
+
+// InvariantsEnabled reports whether the runtime assertion layer is
+// compiled in (the `invariants` build tag, exercised by CI).
+const InvariantsEnabled = false
+
+// assertCell is a no-op in normal builds; see invariants_on.go.
+func assertCell(Domain, uint32, string) {}
+
+// assertLevel is a no-op in normal builds; see invariants_on.go.
+func assertLevel(Domain, int, string) {}
+
+// assertPartition is a no-op in normal builds; see invariants_on.go.
+func assertPartition(Domain, int, uint32, string) {}

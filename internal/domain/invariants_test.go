@@ -1,0 +1,44 @@
+//go:build invariants
+
+package domain
+
+import "testing"
+
+// mustPanic runs fn and fails the test unless it panics — the invariants
+// build turns contract violations into aborts, and these tests pin that
+// behavior so the assertions cannot silently rot.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected invariant panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+func TestInvariantAssertionsFire(t *testing.T) {
+	if !InvariantsEnabled {
+		t.Fatal("invariants build tag set but InvariantsEnabled is false")
+	}
+	d := New(0, 999, 4)
+	mustPanic(t, "Prefix level above M", func() { d.Prefix(d.M+1, 0) })
+	mustPanic(t, "Prefix negative level", func() { d.Prefix(-1, 0) })
+	mustPanic(t, "Prefix off-grid cell", func() { d.Prefix(2, d.Cells()) })
+	mustPanic(t, "PartitionExtent nonexistent partition", func() { d.PartitionExtent(2, 4) })
+}
+
+func TestInvariantAssertionsSilentInRange(t *testing.T) {
+	d := New(0, 999, 4)
+	for level := 0; level <= d.M; level++ {
+		for v := uint32(0); v < d.Cells(); v++ {
+			_ = d.Prefix(level, v)
+		}
+		last := (uint32(1) << uint(level)) - 1
+		_, _ = d.PartitionExtent(level, 0)
+		_, _ = d.PartitionExtent(level, last)
+	}
+	for ts := int64(-5); ts <= 1005; ts++ {
+		_ = d.Disc(ts)
+	}
+}

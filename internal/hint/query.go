@@ -58,8 +58,8 @@ func Visit(dom domain.Domain, q model.Interval, fn func(LevelVisit)) {
 	qlo, qhi := dom.DiscInterval(q)
 	compFirst, compLast := true, true
 	for level := dom.M; level >= 0; level-- {
-		f := qlo >> uint(dom.M-level)
-		l := qhi >> uint(dom.M-level)
+		f := dom.Prefix(level, qlo)
+		l := dom.Prefix(level, qhi)
 		fn(LevelVisit{Level: level, F: f, L: l, CompFirst: compFirst, CompLast: compLast})
 		if f%2 == 0 {
 			compFirst = false
@@ -208,8 +208,8 @@ func (ix *Index) RangeQueryTopDown(q model.Interval, dst []model.ObjectID) []mod
 	ix.Finalize()
 	qlo, qhi := ix.dom.DiscInterval(q)
 	for level := 0; level <= ix.dom.M; level++ {
-		f := qlo >> uint(ix.dom.M-level)
-		l := qhi >> uint(ix.dom.M-level)
+		f := ix.dom.Prefix(level, qlo)
+		l := ix.dom.Prefix(level, qhi)
 		ix.levels[level].forRange(f, l, func(j uint32, p *Partition) {
 			ob := Obligations{
 				First:      j == f,

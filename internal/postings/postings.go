@@ -54,6 +54,19 @@ type List []Posting
 // updates). Use Sort after out-of-order construction.
 func (l *List) Append(p Posting) { *l = append(*l, p) }
 
+// Clone returns an independent copy of the list. Lists handed out by
+// index accessors alias shared storage and are read-only (the
+// alias-mutation analyzer enforces this outside the owning packages);
+// Clone is the sanctioned way to obtain a mutable copy.
+func (l List) Clone() List {
+	if l == nil {
+		return nil
+	}
+	out := make(List, len(l))
+	copy(out, l)
+	return out
+}
+
 // Sort re-establishes the id order after bulk loading.
 func (l List) Sort() {
 	sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })

@@ -19,7 +19,8 @@ import (
 
 // Server is an http.Handler serving one engine.
 type Server struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	// irlint:guarded-by mu
 	engine *temporalir.Engine
 	mux    *http.ServeMux
 }

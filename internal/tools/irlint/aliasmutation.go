@@ -1,0 +1,258 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// aliasDirective suppresses an alias-mutation finding where the caller
+// provably owns the list (e.g. a benchmark that rebuilds the index
+// afterwards).
+const aliasDirective = "lint:alias-ok"
+
+// postingsPath and tifPath own the postings storage that the rest of the
+// repository aliases by reference.
+const (
+	postingsPath = ModulePath + "/internal/postings"
+	tifPath      = ModulePath + "/internal/tif"
+)
+
+// AnalyzerAliasMutation enforces the read-only contract on postings lists
+// returned by internal/postings and internal/tif accessors: the same
+// backing arrays are shared by reference across tIF, tIF+Slicing and the
+// tIF+HINT composites, so an in-place mutation in one index silently
+// corrupts another. Outside the owning packages, any value obtained from
+// an owner-package call with a postings-list result is treated as aliased
+// and must not be mutated (index assignment, append, copy, sort.* calls,
+// or the mutating List methods Sort/Append). Clone() results are fresh
+// and exempt — Clone is the blessed escape hatch; // lint:alias-ok is the
+// annotation of last resort.
+func AnalyzerAliasMutation() *Analyzer {
+	const name = "alias-mutation"
+	return &Analyzer{
+		Name: name,
+		Doc:  "postings lists returned by internal/tif and internal/postings accessors are read-only outside their owning package",
+		Run: func(p *Package) []Diagnostic {
+			if p.Info == nil || p.Path == postingsPath || p.Path == tifPath {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				file := f
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					out = append(out, p.aliasMutationFunc(file, fn)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// aliasMutationFunc tracks aliased postings lists through one function
+// body (including nested closures) and flags mutations of them.
+func (p *Package) aliasMutationFunc(f *ast.File, fn *ast.FuncDecl) []Diagnostic {
+	const name = "alias-mutation"
+	tracked := map[types.Object]bool{}
+
+	// trackedExpr reports whether e evaluates to an aliased list: a
+	// tracked variable, an owner-package accessor call, or a slice /
+	// paren / conversion view of one.
+	var trackedExpr func(e ast.Expr) bool
+	trackedExpr = func(e ast.Expr) bool {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			return obj != nil && tracked[obj]
+		case *ast.SliceExpr:
+			return trackedExpr(x.X)
+		case *ast.CallExpr:
+			if p.isConversion(x) {
+				return len(x.Args) == 1 && trackedExpr(x.Args[0])
+			}
+			return p.aliasingCall(x)
+		}
+		return false
+	}
+
+	// Fixpoint over assignments: `l := ix.List(e)` then `m := l` both
+	// track. Bounded — each round only adds objects.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr) {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && !tracked[obj] && isPostingsList(obj.Type()) {
+					tracked[obj] = true
+					changed = true
+				}
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// Tuple assignment from a single call.
+				if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok && p.aliasingCall(call) {
+					for _, lhs := range as.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i < len(as.Lhs) && trackedExpr(rhs) {
+					mark(as.Lhs[i])
+				}
+			}
+			return true
+		})
+	}
+
+	// Flag mutations of tracked values.
+	var out []Diagnostic
+	flag := func(pos token.Pos, what string) {
+		if p.allowed(f, pos, aliasDirective) {
+			return
+		}
+		out = append(out, p.diag(name, pos,
+			"%s mutates a postings list aliased from %s/%s internals; these lists are shared across indices and read-only — Clone() it first or annotate // %s <reason>",
+			what, relPath(postingsPath), relPath(tifPath), aliasDirective))
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if base, viaIndex := indexedBase(lhs); viaIndex && trackedExpr(base) {
+					flag(lhs.Pos(), "element assignment")
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, viaIndex := indexedBase(st.X); viaIndex && trackedExpr(base) {
+				flag(st.Pos(), "element update")
+			}
+		case *ast.CallExpr:
+			switch fun := unparen(st.Fun).(type) {
+			case *ast.Ident:
+				if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin &&
+					(fun.Name == "append" || fun.Name == "copy") && len(st.Args) > 0 && trackedExpr(st.Args[0]) {
+					flag(st.Pos(), fun.Name)
+				}
+			case *ast.SelectorExpr:
+				callee, _ := p.Info.Uses[fun.Sel].(*types.Func)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() != nil && callee.Pkg().Path() == "sort" {
+					for _, arg := range st.Args {
+						if trackedExpr(arg) {
+							flag(st.Pos(), "sort."+fun.Sel.Name)
+							break
+						}
+					}
+					return true
+				}
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					(fun.Sel.Name == "Sort" || fun.Sel.Name == "Append") && trackedExpr(fun.X) {
+					flag(st.Pos(), "method "+fun.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// aliasingCall reports whether call invokes a function or method declared
+// in an owning package that returns an aliased postings list. Clone is
+// exempt: it returns a fresh copy by contract.
+func (p *Package) aliasingCall(call *ast.CallExpr) bool {
+	var callee *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil || callee.Pkg() == nil || callee.Name() == "Clone" {
+		return false
+	}
+	if path := callee.Pkg().Path(); path != postingsPath && path != tifPath {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isPostingsList(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call.
+func (p *Package) isConversion(call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, ok := p.Info.Uses[fun].(*types.TypeName)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := p.Info.Uses[fun.Sel].(*types.TypeName)
+		return ok
+	}
+	return false
+}
+
+// isPostingsList reports whether t is postings.List or a slice of
+// postings.Posting.
+func isPostingsList(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if typeIs(t, postingsPath, "List") {
+		return true
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return typeIs(sl.Elem(), postingsPath, "Posting")
+}
+
+// indexedBase unwraps an assignment target to its base expression,
+// reporting whether the path went through an index expression (x[i],
+// x[i].Field) — the shape that mutates backing storage rather than
+// rebinding a variable.
+func indexedBase(e ast.Expr) (ast.Expr, bool) {
+	viaIndex := false
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr:
+			viaIndex = true
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e, viaIndex
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// domainDirective suppresses a domain-bounds finding at a site where the
+// arithmetic is proven in range by reasoning the analyzer cannot follow
+// (state the proof in the reason).
+const domainDirective = "lint:domain-ok"
+
+// domainPath owns the [0, 2^m-1] discretization.
+const domainPath = ModulePath + "/internal/domain"
+
+// AnalyzerDomainBounds flags raw arithmetic on discretized domain values:
+// results of internal/domain methods (Disc, DiscInterval, Prefix,
+// PartitionExtent, Cells) live on the [0, 2^m-1] grid, and additions,
+// subtractions, multiplications or shifts can silently leave it —
+// overflow wraps uint32 and an off-by-one shift duplicates the
+// level-prefix logic Domain.Prefix centralizes. Comparisons, %, and the
+// other non-escaping operators are allowed (parity checks are how HINT's
+// bottom-up walk works). The domain package itself is exempt — it is
+// where the clamped implementations live.
+func AnalyzerDomainBounds() *Analyzer {
+	const name = "domain-bounds"
+	return &Analyzer{
+		Name: name,
+		Doc:  "arithmetic on discretized domain values must go through Domain helpers or carry a bounds-proof annotation",
+		Run: func(p *Package) []Diagnostic {
+			if p.Info == nil || p.Path == domainPath {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				file := f
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					out = append(out, p.domainBoundsFunc(file, fn)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// domainBoundsFunc tracks discretized values through one function body
+// and flags escaping arithmetic on them.
+func (p *Package) domainBoundsFunc(f *ast.File, fn *ast.FuncDecl) []Diagnostic {
+	const name = "domain-bounds"
+	tracked := map[types.Object]bool{}
+
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[id]
+	}
+
+	// trackedExpr: a tracked variable, a domain-method call, or a paren /
+	// conversion view of one.
+	var trackedExpr func(e ast.Expr) bool
+	trackedExpr = func(e ast.Expr) bool {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			obj := objOf(x)
+			return obj != nil && tracked[obj]
+		case *ast.CallExpr:
+			if p.isConversion(x) {
+				return len(x.Args) == 1 && trackedExpr(x.Args[0])
+			}
+			return p.domainCall(x)
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr) {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil || tracked[obj] {
+					return
+				}
+				if basic, ok := obj.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+					return
+				}
+				tracked[obj] = true
+				changed = true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok && p.domainCall(call) {
+					for _, lhs := range as.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i < len(as.Lhs) && trackedExpr(rhs) {
+					mark(as.Lhs[i])
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	flag := func(pos token.Pos, op string) {
+		if p.allowed(f, pos, domainDirective) {
+			return
+		}
+		out = append(out, p.diag(name, pos,
+			"%q on a discretized domain value can leave [0, 2^m-1]; use Domain.Prefix/PartitionExtent, clamp against Cells(), or annotate // %s <bounds proof>",
+			op, domainDirective))
+	}
+	escaping := map[token.Token]bool{
+		token.ADD: true, token.SUB: true, token.MUL: true,
+		token.SHL: true, token.SHR: true,
+		token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+		token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+		token.INC: true, token.DEC: true,
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if escaping[x.Op] && (trackedExpr(x.X) || trackedExpr(x.Y)) {
+				flag(x.OpPos, x.Op.String())
+			}
+		case *ast.AssignStmt:
+			if escaping[x.Tok] {
+				for _, lhs := range x.Lhs {
+					if trackedExpr(lhs) {
+						flag(x.TokPos, x.Tok.String())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if trackedExpr(x.X) {
+				flag(x.TokPos, x.Tok.String())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// domainCall reports whether call invokes an internal/domain function or
+// method with a uint32 result — the shape of every grid-value producer
+// (Disc, DiscInterval, Prefix, PartitionExtent, Cells).
+func (p *Package) domainCall(call *ast.CallExpr) bool {
+	var callee *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != domainPath {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if basic, ok := sig.Results().At(i).Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Uint32 {
+			return true
+		}
+	}
+	return false
+}

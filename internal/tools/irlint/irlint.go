@@ -5,6 +5,14 @@
 // to documented precondition sites, size accounting covers every
 // dynamically-sized index field, and the public surface stays documented.
 //
+// The type/dataflow-aware half of the suite guards the concurrency and
+// sharing contracts: mutex-guarded Engine fields are only touched under
+// their lock (lock-guard), postings lists aliased out of internal/tif and
+// internal/postings stay read-only (alias-mutation), arithmetic on
+// discretized domain values cannot leave [0, 2^m-1] unreviewed
+// (domain-bounds), and every switch over temporalir.Method stays
+// exhaustive as the index family grows (method-exhaustiveness).
+//
 // The suite is stdlib-only (go/parser, go/ast, go/types); the cmd/irlint
 // driver wires it into `make lint` and CI. Each analyzer has an escape
 // hatch comment documented in LINTING.md.
@@ -70,6 +78,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerPanicPolicy(),
 		AnalyzerSizeAccounting(),
 		AnalyzerDocExported(),
+		AnalyzerLockGuard(),
+		AnalyzerAliasMutation(),
+		AnalyzerDomainBounds(),
+		AnalyzerMethodExhaustiveness(),
 	}
 }
 

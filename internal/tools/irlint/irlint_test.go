@@ -29,8 +29,75 @@ func NewInterval(start, end Timestamp) Interval { return Interval{Start: start, 
 func Canon(a, b Timestamp) Interval { return Interval{Start: a, End: b}  }
 `
 
+// postingsStub stands in for repro/internal/postings: the shared postings
+// storage whose accessor results the alias-mutation analyzer protects.
+const postingsStub = `package postings
+
+type Posting struct{ ID uint32 }
+
+type List []Posting
+
+func (l *List) Append(p Posting) { *l = append(*l, p) }
+
+func (l List) Sort() {}
+
+func (l List) Clone() List { out := make(List, len(l)); copy(out, l); return out }
+
+func Shared() List { return nil }
+`
+
+// tifStub stands in for repro/internal/tif with its aliasing accessor.
+const tifStub = `package tif
+
+import "repro/internal/postings"
+
+type Index struct{ lists []postings.List }
+
+func (ix *Index) List(e int) postings.List { return ix.lists[e] }
+`
+
+// domainStub stands in for repro/internal/domain: every grid-value
+// producer the domain-bounds analyzer tracks.
+const domainStub = `package domain
+
+type Domain struct{ M int }
+
+func (d Domain) Cells() uint32 { return uint32(1) << uint(d.M) }
+
+func (d Domain) Disc(t int64) uint32 { return 0 }
+
+func (d Domain) DiscInterval(s, e int64) (lo, hi uint32) { return 0, 0 }
+
+func (d Domain) Prefix(level int, v uint32) uint32 { return v }
+
+func (d Domain) PartitionExtent(level int, j uint32) (lo, hi uint32) { return 0, 0 }
+`
+
+// reproStub stands in for the root package with a three-method universe,
+// so method-exhaustiveness fixtures stay readable.
+const reproStub = `package temporalir
+
+type Method string
+
+const (
+	TIF        Method = "tif"
+	TIFSlicing Method = "tif+slicing"
+	IRHintPerf Method = "irhint/perf"
+)
+`
+
+// fixtureStubs are the stand-in packages registered for every fixture,
+// in dependency order.
+var fixtureStubs = []struct{ path, name, src string }{
+	{modelPath, "model.go", modelStub},
+	{postingsPath, "postings.go", postingsStub},
+	{tifPath, "tif.go", tifStub},
+	{domainPath, "domain.go", domainStub},
+	{ModulePath, "repro.go", reproStub},
+}
+
 // checkFixture type-checks one fixture package (import path, source) with
-// the model stub available, returning the loaded Package.
+// the stub packages available, returning the loaded Package.
 func checkFixture(t *testing.T, path, src string) *Package {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -58,12 +125,17 @@ func checkFixture(t *testing.T, path, src string) *Package {
 	}
 	cfg := types.Config{Importer: imp}
 
-	modelFile := parse("model.go", modelStub)
-	modelPkg, err := cfg.Check(modelPath, fset, []*ast.File{modelFile}, newInfo())
-	if err != nil {
-		t.Fatalf("check model stub: %v", err)
+	for _, stub := range fixtureStubs {
+		if stub.path == path {
+			continue // the fixture replaces this stub wholesale
+		}
+		stubFile := parse(stub.name, stub.src)
+		stubPkg, err := cfg.Check(stub.path, fset, []*ast.File{stubFile}, newInfo())
+		if err != nil {
+			t.Fatalf("check stub %s: %v", stub.path, err)
+		}
+		imp.mod[stub.path] = stubPkg
 	}
-	imp.mod[modelPath] = modelPkg
 
 	file := parse("fixture.go", src)
 	info := newInfo()
@@ -390,6 +462,398 @@ func hidden() {}
 			src: `package fix
 
 func Undocumented() {}
+`,
+			want: 0,
+		},
+		{
+			name:     "guarded field read without lock flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+}
+
+func (s *Store) Unlocked() int { return len(s.data) }
+`,
+			want:     1,
+			contains: []string{"Store.data", "read"},
+		},
+		{
+			name:     "guarded field write under read lock flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+}
+
+func (s *Store) Weak(k, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.data[k] = v
+}
+`,
+			want:     1,
+			contains: []string{"write", "mu.Lock"},
+		},
+		{
+			name:     "locked accesses and locked-contract helper conform",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+}
+
+func (s *Store) Read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+func (s *Store) Write(k, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+}
+
+func (s *Store) ScopedRead() int {
+	s.mu.RLock()
+	n := len(s.data)
+	s.mu.RUnlock()
+	return n
+}
+
+// helper requires the caller to hold mu.
+//
+// irlint:locked mu
+func (s *Store) helper() int { return len(s.data) }
+`,
+			want: 0,
+		},
+		{
+			name:     "lock-guard escape hatch honored",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+}
+
+func (s *Store) Snapshot() int {
+	// lint:guard-ok single-threaded setup phase, no concurrency yet
+	return len(s.data)
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "guarded-by naming a missing mutex flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+type Broken struct {
+	// irlint:guarded-by lock
+	data int
+}
+`,
+			want:     1,
+			contains: []string{"no sync.Mutex"},
+		},
+		{
+			name:     "aliased list mutations flagged",
+			analyzer: "alias-mutation",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import (
+	"sort"
+
+	"repro/internal/postings"
+	"repro/internal/tif"
+)
+
+func bad(ix *tif.Index) {
+	l := ix.List(0)
+	l[0] = postings.Posting{}
+	l.Sort()
+	sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+}
+`,
+			want:     3,
+			contains: []string{"read-only", "Clone"},
+		},
+		{
+			name:     "append to aliased list through a copy flagged",
+			analyzer: "alias-mutation",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import (
+	"repro/internal/postings"
+	"repro/internal/tif"
+)
+
+func bad(ix *tif.Index) postings.List {
+	l := ix.List(0)
+	m := l
+	return append(m, postings.Posting{ID: 7})
+}
+`,
+			want:     1,
+			contains: []string{"append"},
+		},
+		{
+			name:     "cloned and locally built lists conform",
+			analyzer: "alias-mutation",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import (
+	"repro/internal/postings"
+	"repro/internal/tif"
+)
+
+func good(ix *tif.Index) postings.List {
+	l := ix.List(0).Clone()
+	l.Sort()
+	return append(l, postings.Posting{ID: 9})
+}
+
+func goodLocal() postings.List {
+	var l postings.List
+	l.Append(postings.Posting{ID: 1})
+	l.Sort()
+	return l
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "alias escape hatch honored",
+			analyzer: "alias-mutation",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/postings"
+
+func teardown() {
+	l := postings.Shared()
+	// lint:alias-ok benchmark rebuilds the index afterwards
+	l.Sort()
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "owning package may mutate its own lists",
+			analyzer: "alias-mutation",
+			path:     tifPath,
+			src: `package tif
+
+import "repro/internal/postings"
+
+func rebuild() {
+	l := postings.Shared()
+	l.Sort()
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "addition on discretized value flagged",
+			analyzer: "domain-bounds",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/domain"
+
+func bad(d domain.Domain, t int64) uint32 {
+	v := d.Disc(t)
+	return v + 1
+}
+`,
+			want:     1,
+			contains: []string{"2^m-1", "Prefix"},
+		},
+		{
+			name:     "shift on tuple-assigned discretized value flagged",
+			analyzer: "domain-bounds",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/domain"
+
+func bad(d domain.Domain) uint32 {
+	lo, hi := d.DiscInterval(1, 9)
+	_ = hi
+	return lo << 1
+}
+`,
+			want:     1,
+			contains: []string{"<<"},
+		},
+		{
+			name:     "increment of discretized value flagged",
+			analyzer: "domain-bounds",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/domain"
+
+func bad(d domain.Domain, t int64) uint32 {
+	v := d.Disc(t)
+	v++
+	return v
+}
+`,
+			want:     1,
+			contains: []string{"++"},
+		},
+		{
+			name:     "comparisons and parity checks on discretized values conform",
+			analyzer: "domain-bounds",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/domain"
+
+func good(d domain.Domain, t int64) bool {
+	v := d.Disc(t)
+	w := d.Prefix(3, v)
+	return v%2 == 1 && w < d.Cells()
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "domain escape hatch honored",
+			analyzer: "domain-bounds",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/domain"
+
+func proven(d domain.Domain, t int64) uint32 {
+	v := d.Disc(t)
+	if v%2 == 0 {
+		// lint:domain-ok v is even, so v+1 <= Cells()-1
+		return v + 1
+	}
+	return v
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "non-exhaustive method switch with plain default flagged",
+			analyzer: "method-exhaustiveness",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import temporalir "repro"
+
+func dispatch(m temporalir.Method) int {
+	switch m {
+	case temporalir.TIF:
+		return 1
+	case temporalir.TIFSlicing:
+		return 2
+	default:
+		return 0
+	}
+}
+`,
+			want:     1,
+			contains: []string{"IRHintPerf"},
+		},
+		{
+			name:     "non-exhaustive method switch without default flagged",
+			analyzer: "method-exhaustiveness",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import temporalir "repro"
+
+func dispatch(m temporalir.Method) int {
+	switch m {
+	case temporalir.TIF:
+		return 1
+	}
+	return 0
+}
+`,
+			want:     1,
+			contains: []string{"IRHintPerf", "TIFSlicing"},
+		},
+		{
+			name:     "exhaustive method switch and non-method switch conform",
+			analyzer: "method-exhaustiveness",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import temporalir "repro"
+
+func dispatch(m temporalir.Method) int {
+	switch m {
+	case temporalir.TIF, temporalir.TIFSlicing:
+		return 1
+	case temporalir.IRHintPerf:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func other(s string) int {
+	switch s {
+	case "x":
+		return 1
+	}
+	return 0
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "annotated default exempts a method switch",
+			analyzer: "method-exhaustiveness",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import temporalir "repro"
+
+func dispatch(m temporalir.Method) int {
+	switch m {
+	case temporalir.TIF:
+		return 1
+	// lint:method-ok remaining methods route through the registry
+	default:
+		return 0
+	}
+}
 `,
 			want: 0,
 		},

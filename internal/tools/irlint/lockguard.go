@@ -1,0 +1,356 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// guardedByMarker annotates a struct field with the mutex field that
+// guards it: // irlint:guarded-by mu
+const guardedByMarker = "irlint:guarded-by"
+
+// lockedMarker annotates a method whose contract is "caller holds the
+// lock": // irlint:locked mu
+const lockedMarker = "irlint:locked"
+
+// guardDirective suppresses one lock-guard finding at an access site the
+// analyzer cannot prove safe (e.g. a constructor publishing the value
+// before any concurrency exists).
+const guardDirective = "lint:guard-ok"
+
+// guardSpec is the annotation set of one struct: guarded field name ->
+// guarding mutex field name.
+type guardSpec struct {
+	obj     *types.TypeName   // the struct's type name
+	mutexes map[string]bool   // mutex fields that exist on the struct
+	fields  map[string]string // guarded field -> mutex field
+}
+
+// lockEvent is one mutex operation inside a method body, ordered by
+// source position. Deferred unlocks run at function exit, so they never
+// clear the held state for statements that follow them textually.
+type lockEvent struct {
+	pos  token.Pos
+	mu   string // mutex field name
+	kind string // "Lock", "RLock", "Unlock", "RUnlock"
+}
+
+// Lock-state grades: how strongly a mutex is held.
+const (
+	lockNone  = 0
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// AnalyzerLockGuard enforces the `// irlint:guarded-by mu` annotation on
+// struct fields: inside methods of the annotated struct, a guarded field
+// may only be read while the named mutex is held (RLock or Lock) and only
+// written while it is write-held (Lock). The check is flow-insensitive
+// but order-aware: lock state at an access is derived from the textually
+// preceding Lock/RLock/Unlock/RUnlock calls on the receiver's mutex,
+// with deferred unlocks running at exit. Methods whose contract is
+// "caller holds the lock" are annotated // irlint:locked mu on the
+// declaration.
+func AnalyzerLockGuard() *Analyzer {
+	const name = "lock-guard"
+	return &Analyzer{
+		Name: name,
+		Doc:  "fields annotated irlint:guarded-by may only be accessed while the named mutex is held",
+		Run: func(p *Package) []Diagnostic {
+			if p.Info == nil {
+				return nil
+			}
+			specs, diags := p.collectGuardSpecs()
+			if len(specs) == 0 {
+				return diags
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Recv == nil || fn.Body == nil {
+						continue
+					}
+					spec := p.specForReceiver(specs, fn)
+					if spec == nil {
+						continue
+					}
+					diags = append(diags, p.lockGuardMethod(f, fn, spec)...)
+				}
+			}
+			return diags
+		},
+	}
+}
+
+// collectGuardSpecs gathers irlint:guarded-by annotations per struct and
+// validates that the named mutex is a sync.Mutex/RWMutex field of the
+// same struct.
+func (p *Package) collectGuardSpecs() (map[*types.TypeName]*guardSpec, []Diagnostic) {
+	const name = "lock-guard"
+	specs := make(map[*types.TypeName]*guardSpec)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				spec := &guardSpec{obj: tn, mutexes: map[string]bool{}, fields: map[string]string{}}
+				for _, field := range st.Fields.List {
+					isMutex := false
+					if tv, ok := p.Info.Types[field.Type]; ok {
+						isMutex = typeIs(tv.Type, "sync", "Mutex") || typeIs(tv.Type, "sync", "RWMutex")
+					}
+					mu := fieldMarkerArg(field, guardedByMarker)
+					for _, id := range field.Names {
+						if isMutex {
+							spec.mutexes[id.Name] = true
+						}
+						if mu != "" {
+							spec.fields[id.Name] = mu
+						}
+					}
+				}
+				guardedNames := make([]string, 0, len(spec.fields))
+				for fieldName := range spec.fields {
+					guardedNames = append(guardedNames, fieldName)
+				}
+				sort.Strings(guardedNames)
+				for _, fieldName := range guardedNames {
+					if mu := spec.fields[fieldName]; !spec.mutexes[mu] {
+						diags = append(diags, p.diag(name, ts.Pos(),
+							"field %s.%s is guarded-by %q, but %s has no sync.Mutex/RWMutex field of that name",
+							ts.Name.Name, fieldName, mu, ts.Name.Name))
+						delete(spec.fields, fieldName)
+					}
+				}
+				if len(spec.fields) > 0 {
+					specs[tn] = spec
+				}
+			}
+		}
+	}
+	return specs, diags
+}
+
+// fieldMarkerArg extracts the argument of a field marker comment
+// ("irlint:guarded-by mu" -> "mu") from the field's doc or line comment.
+func fieldMarkerArg(field *ast.Field, marker string) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if arg, ok := markerArg(c.Text, marker); ok {
+				return arg
+			}
+		}
+	}
+	return ""
+}
+
+// markerArg parses "<marker> <arg>" out of a comment line.
+func markerArg(text, marker string) (string, bool) {
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		return "", false
+	}
+	rest := strings.Fields(text[idx+len(marker):])
+	if len(rest) == 0 {
+		return "", false
+	}
+	return rest[0], true
+}
+
+// specForReceiver returns the guard spec of the method's receiver type,
+// or nil if the receiver is not an annotated struct.
+func (p *Package) specForReceiver(specs map[*types.TypeName]*guardSpec, fn *ast.FuncDecl) *guardSpec {
+	if len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[fn.Recv.List[0].Type]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return specs[named.Obj()]
+}
+
+// lockGuardMethod checks every guarded-field access in one method.
+func (p *Package) lockGuardMethod(f *ast.File, fn *ast.FuncDecl, spec *guardSpec) []Diagnostic {
+	if len(fn.Recv.List[0].Names) == 0 {
+		return nil // unnamed receiver: the body cannot touch fields
+	}
+	recvObj := p.Info.Defs[fn.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+
+	// Mutexes the caller already holds per the method's contract.
+	heldAtEntry := map[string]bool{}
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if arg, ok := markerArg(c.Text, lockedMarker); ok {
+				heldAtEntry[arg] = true
+			}
+		}
+	}
+
+	isRecv := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		return obj == recvObj
+	}
+
+	// Pass 1: lock events and write targets.
+	var events []lockEvent
+	writes := map[*ast.SelectorExpr]bool{}
+	markWrites := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && isRecv(sel.X) {
+				if _, guarded := spec.fields[sel.Sel.Name]; guarded {
+					writes[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if ev, ok := p.mutexCall(st.X, spec, isRecv); ok {
+				events = append(events, ev)
+			}
+		case *ast.DeferStmt:
+			// Deferred unlocks run at exit; deferred locks (nonsensical)
+			// are ignored too. Either way the event does not alter the
+			// state seen by subsequent statements.
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				markWrites(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrites(st.X)
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// stateAt derives the held grade of one mutex at a position from the
+	// textually preceding events.
+	stateAt := func(mu string, pos token.Pos) int {
+		state := lockNone
+		if heldAtEntry[mu] {
+			state = lockWrite // contract: caller holds it strongly enough
+		}
+		for _, ev := range events {
+			if ev.pos >= pos || ev.mu != mu {
+				continue
+			}
+			switch ev.kind {
+			case "Lock":
+				state = lockWrite
+			case "RLock":
+				state = lockRead
+			case "Unlock", "RUnlock":
+				state = lockNone
+			}
+		}
+		return state
+	}
+
+	// Pass 2: flag unguarded accesses.
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isRecv(sel.X) {
+			return true
+		}
+		mu, guarded := spec.fields[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		need, verb := lockRead, "read"
+		if writes[sel] {
+			need, verb = lockWrite, "write"
+		}
+		if stateAt(mu, sel.Pos()) >= need {
+			return true
+		}
+		if p.allowed(f, sel.Pos(), guardDirective) {
+			return true
+		}
+		want := mu + ".RLock"
+		if need == lockWrite {
+			want = mu + ".Lock"
+		}
+		diags = append(diags, p.diag("lock-guard", sel.Pos(),
+			"%s of %s.%s (guarded by %s) without holding %s; take the lock, annotate the method // %s %s, or annotate the site // %s <reason>",
+			verb, spec.obj.Name(), sel.Sel.Name, mu, want, lockedMarker, mu, guardDirective))
+		return true
+	})
+	return diags
+}
+
+// mutexCall recognizes recv.<mu>.<Lock|RLock|Unlock|RUnlock>() calls.
+func (p *Package) mutexCall(e ast.Expr, spec *guardSpec, isRecv func(ast.Expr) bool) (lockEvent, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	method, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	switch method.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	field, ok := unparen(method.X).(*ast.SelectorExpr)
+	if !ok || !isRecv(field.X) || !spec.mutexes[field.Sel.Name] {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), mu: field.Sel.Name, kind: method.Sel.Name}, true
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -26,6 +26,12 @@ const engineVersion = 1
 // is not serialized — it is rebuilt on load, which is both simpler and,
 // for every method in the family, fast relative to I/O.
 func (e *Engine) Save(w io.Writer) error {
+	// Snapshot under the read lock: without it a concurrent Insert or
+	// Delete can grow e.coll.Objects or mutate e.deleted mid-encode and
+	// corrupt the snapshot (a real race — Save used to skip the lock
+	// because it sits on a cold path).
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(engineMagic[:]); err != nil {
 		return err
