@@ -27,7 +27,7 @@ invariants:
 # Deterministic perf snapshot: fixed seed and workload, per-method query
 # latency and index size, written as JSON for the perf trajectory.
 bench:
-	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr2.json
+	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

@@ -1,0 +1,93 @@
+package temporalir_test
+
+import (
+	"fmt"
+	"testing"
+
+	temporalir "repro"
+	"repro/internal/testutil"
+)
+
+// methodNames is the full family — the seven paper-table methods plus
+// the base tIF (allMethods in edgecases_test.go) — as harness keys.
+func methodNames() []string {
+	ms := allMethods()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = string(m)
+	}
+	return names
+}
+
+// TestDifferentialAllMethods is the cross-method differential harness:
+// on every seeded workload, all eight methods must return byte-identical
+// result sets to the brute-force oracle — including the boundary sweep
+// (point queries, domain edges, unknown elements, empty element lists).
+func TestDifferentialAllMethods(t *testing.T) {
+	for _, w := range testutil.DefaultDifferentialWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			testutil.CheckDifferential(t, w, methodNames(),
+				func(name string, c *temporalir.Collection) testutil.QueryIndex {
+					ix, err := temporalir.NewIndex(temporalir.Method(name), c, temporalir.Options{})
+					if err != nil {
+						t.Fatalf("building %s: %v", name, err)
+					}
+					return ix
+				})
+		})
+	}
+}
+
+// TestDifferentialBatchMatchesSerial checks, for every method, that
+// SearchBatch over the engine returns byte-identical rows (same workload
+// checksum) as the serial Query loop — the serial-vs-parallel agreement
+// the executor guarantees.
+func TestDifferentialBatchMatchesSerial(t *testing.T) {
+	w := testutil.DefaultDifferentialWorkloads()[0]
+	c := testutil.RandomCollection(w.Config)
+	queries := w.WorkloadQueries()
+	for _, m := range allMethods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			eng := engineOver(t, c, m)
+			eng.SetParallelism(4)
+			serial := make([][]temporalir.ObjectID, len(queries))
+			ix := eng.Index()
+			for i, q := range queries {
+				serial[i] = testutil.Canonical(ix.Query(q))
+			}
+			batch := eng.SearchBatch(queries)
+			rows := make([][]temporalir.ObjectID, len(batch))
+			for i, r := range batch {
+				if r.Err != nil {
+					t.Fatalf("batch row %d: %v", i, r.Err)
+				}
+				rows[i] = r.IDs
+			}
+			if got, want := testutil.WorkloadChecksum(rows), testutil.WorkloadChecksum(serial); got != want {
+				t.Fatalf("%s: batch checksum %s != serial %s", m, got, want)
+			}
+		})
+	}
+}
+
+// engineOver builds an Engine of the given method over a collection by
+// replaying its objects through the Builder with synthetic term strings.
+func engineOver(t *testing.T, c *temporalir.Collection, m temporalir.Method) *temporalir.Engine {
+	t.Helper()
+	b := temporalir.NewBuilder()
+	for i := range c.Objects {
+		o := &c.Objects[i]
+		terms := make([]string, len(o.Elems))
+		for j, e := range o.Elems {
+			terms[j] = fmt.Sprintf("t%03d", e)
+		}
+		b.Add(o.Interval.Start, o.Interval.End, terms...)
+	}
+	eng, err := b.Build(m, temporalir.Options{})
+	if err != nil {
+		t.Fatalf("building engine %s: %v", m, err)
+	}
+	return eng
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/dict"
+	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/rank"
 )
@@ -68,6 +69,10 @@ type Engine struct {
 	scorer *rank.Scorer
 	// irlint:guarded-by mu
 	deleted map[ObjectID]bool
+	// pool executes batch and intra-query fan-out; nil selects the shared
+	// defaultPool. Replaced wholesale by SetParallelism, never mutated.
+	// irlint:guarded-by mu
+	pool *exec.Pool
 }
 
 // liveIndex wraps an index so every query result is filtered against the

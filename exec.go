@@ -1,0 +1,202 @@
+package temporalir
+
+import (
+	"context"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+)
+
+// Engine-level concurrent execution: batched searches over the bounded
+// worker pool of internal/exec, context-aware single searches, and the
+// intra-query fan-out hook for HINT-backed indices.
+//
+// Locking discipline: every batch entry point takes e.mu.RLock once, for
+// the whole batch, and captures the tombstone-filtering view plus the
+// pool before fanning out. The worker goroutines touch only those
+// captured values — never the guarded fields — and the lock outlives
+// them, because Map returns only after every worker has finished. Writers
+// therefore serialize against whole batches, exactly as they do against
+// single searches.
+
+// Result is one row of a batch search: the matching ids in ascending
+// order, or the error that prevented the query from running (today only
+// context cancellation or timeout).
+type Result struct {
+	IDs []ObjectID
+	Err error
+}
+
+// parallelIndex is implemented by the index variants that can fan one
+// query's partition scans across a worker pool. Engines fall back to the
+// serial Query for the rest of the family.
+type parallelIndex interface {
+	QueryP(q Query, pool *exec.Pool) []ObjectID
+}
+
+// queryP answers q with intra-query parallelism when the inner index
+// supports it, then filters tombstones exactly like Query.
+func (li liveIndex) queryP(q Query, pool *exec.Pool) []ObjectID {
+	var ids []ObjectID
+	if p, ok := li.inner.(parallelIndex); ok {
+		ids = p.QueryP(q, pool)
+	} else {
+		ids = li.inner.Query(q)
+	}
+	if len(li.deleted) == 0 {
+		return ids
+	}
+	w := 0
+	for _, id := range ids {
+		if !li.deleted[id] {
+			ids[w] = id
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// defaultPool serves engines that never called SetParallelism; sized to
+// GOMAXPROCS and shared, so the process-wide query concurrency stays
+// bounded no matter how many engines run batches at once.
+var defaultPool = exec.NewPool(0)
+
+// SetParallelism replaces the engine's worker pool with one of the given
+// size (n <= 0 restores the GOMAXPROCS default). It tunes both batch
+// fan-out and intra-query fan-out; in-flight batches keep the pool they
+// started with.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool = exec.NewPool(n)
+}
+
+// executor returns the engine's pool. Callers must hold e.mu.
+//
+// irlint:locked mu
+func (e *Engine) executor() *exec.Pool {
+	assertEngineLocked(&e.mu, "Engine.executor")
+	if e.pool != nil {
+		return e.pool
+	}
+	return defaultPool
+}
+
+// SearchBatch evaluates many element-id queries concurrently over the
+// engine's pool, with intra-query fan-out for the HINT-backed methods.
+// results[i] corresponds to queries[i]; ids are in ascending order, so a
+// batch result is byte-identical to running Query serially. The read
+// lock is held once for the whole batch: mutations wait for the batch,
+// and the batch sees one consistent snapshot.
+func (e *Engine) SearchBatch(queries []Query) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	li := e.live()
+	pool := e.executor()
+	results := make([]Result, len(queries))
+	pool.Map(len(queries), func(i int) {
+		ids := li.queryP(queries[i], pool)
+		SortIDs(ids)
+		results[i] = Result{IDs: ids}
+	})
+	return results
+}
+
+// SearchBatchCtx is SearchBatch with cooperative cancellation: queries
+// not yet started when ctx fires are marked with Err = ctx.Err() and nil
+// IDs; queries already running complete normally.
+func (e *Engine) SearchBatchCtx(ctx context.Context, queries []Query) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	li := e.live()
+	pool := e.executor()
+	results := make([]Result, len(queries))
+	started := make([]bool, len(queries))
+	_ = pool.MapCtx(ctx, len(queries), func(i int) {
+		started[i] = true
+		ids := li.queryP(queries[i], pool)
+		SortIDs(ids)
+		results[i] = Result{IDs: ids}
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !started[i] {
+				results[i] = Result{Err: err}
+			}
+		}
+	}
+	return results
+}
+
+// SearchCtx is Search with cancellation and timeout support: it returns
+// ctx.Err() as soon as ctx fires, even mid-query. The underlying index
+// scan cannot be interrupted, so an abandoned query finishes (and
+// releases the read lock) in the background; the bound on such strays is
+// the caller's concurrency, which the HTTP server caps via MaxInFlight.
+func (e *Engine) SearchCtx(ctx context.Context, start, end Timestamp, terms ...string) ([]ObjectID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	done := make(chan []ObjectID, 1)
+	go func() { done <- e.Search(start, end, terms...) }()
+	select {
+	case ids := <-done:
+		return ids, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SearchTermsBatch resolves each row of terms against the dictionary and
+// evaluates the resulting queries as one batch — the string-surface
+// convenience over SearchBatch. Rows with unknown terms resolve to empty
+// results, matching Search.
+func (e *Engine) SearchTermsBatch(start, end Timestamp, termRows [][]string) []Result {
+	return e.SearchTermsBatchCtx(context.Background(), start, end, termRows)
+}
+
+// SearchTermsBatchCtx is SearchTermsBatch with cooperative cancellation,
+// following the SearchBatchCtx row contract: rows not started when ctx
+// fires carry Err = ctx.Err() and nil IDs.
+func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, termRows [][]string) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	iv := model.Canon(start, end)
+	queries := make([]Query, len(termRows))
+	known := make([]bool, len(termRows))
+	for i, terms := range termRows {
+		elems := make([]ElemID, 0, len(terms))
+		ok := true
+		for _, t := range terms {
+			id, found := e.dict.Lookup(t)
+			if !found {
+				ok = false
+				break
+			}
+			elems = append(elems, id)
+		}
+		known[i] = ok
+		queries[i] = Query{Interval: iv, Elems: model.NormalizeElems(elems)}
+	}
+	li := e.live()
+	pool := e.executor()
+	results := make([]Result, len(queries))
+	started := make([]bool, len(queries))
+	_ = pool.MapCtx(ctx, len(queries), func(i int) {
+		started[i] = true
+		if !known[i] {
+			return
+		}
+		ids := li.queryP(queries[i], pool)
+		SortIDs(ids)
+		results[i] = Result{IDs: ids}
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !started[i] {
+				results[i] = Result{Err: err}
+			}
+		}
+	}
+	return results
+}

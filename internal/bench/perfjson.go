@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	temporalir "repro"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/testutil"
 )
 
 // PerfMethod is one per-method row of the JSON perf artifact.
@@ -18,6 +22,19 @@ type PerfMethod struct {
 	QueryMicrosMean float64 `json:"query_micros_mean"`
 	QueriesPerSec   float64 `json:"queries_per_sec"`
 	ResultRows      int     `json:"result_rows"`
+	// Batch-executor measurements: the same workload evaluated through
+	// the worker pool (the SearchBatch hot path), versus the serial loop
+	// above. SpeedupX = BatchQueriesPerSec / QueriesPerSec; it tracks the
+	// worker count on multi-core hosts and sits near 1.0 when
+	// gomaxprocs=1 (the pool degrades to the caller-runs serial path).
+	BatchMicrosMean    float64 `json:"batch_query_micros_mean"`
+	BatchQueriesPerSec float64 `json:"batch_queries_per_sec"`
+	SpeedupX           float64 `json:"speedup_x"`
+	// SerialChecksum and BatchChecksum hash the canonical per-query
+	// result sets; they must be identical to each other (parallelism
+	// cannot change results) and across methods and runs.
+	SerialChecksum string `json:"serial_checksum"`
+	BatchChecksum  string `json:"batch_checksum"`
 }
 
 // PerfReport is the BENCH_pr*.json schema: one deterministic workload
@@ -31,53 +48,99 @@ type PerfReport struct {
 	Seed       int64        `json:"seed"`
 	Objects    int          `json:"objects"`
 	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
 	Methods    []PerfMethod `json:"methods"`
 }
 
-// RunPerfJSON measures every index method — build time, resident size and
-// query latency — on the default synthetic dataset under the paper's
-// default query workload, both seeded from cfg.Seed. The rendered table
-// goes to cfg.Out; when cfg.JSONPath is set the report is also written
-// there as indented JSON, seeding the repository's perf trajectory
-// (BENCH_pr2.json and successors).
+// BatchThroughput measures queries/second with the workload evaluated
+// through the worker pool, repeating until at least minDuration elapsed —
+// the batch counterpart of Throughput.
+func BatchThroughput(ix temporalir.Index, queries []model.Query, pool *exec.Pool) float64 {
+	const minDuration = 20 * time.Millisecond
+	if len(queries) == 0 {
+		return 0
+	}
+	ran := 0
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		_ = exec.RunBatch(pool, queries, ix.Query)
+		ran += len(queries)
+	}
+	return float64(ran) / time.Since(start).Seconds()
+}
+
+// RunPerfJSON measures every index method — build time, resident size,
+// serial query latency and batch (worker-pool) latency — on the default
+// synthetic dataset under the paper's default query workload, both seeded
+// from cfg.Seed. The rendered table goes to cfg.Out; when cfg.JSONPath is
+// set the report is also written there as indented JSON, seeding the
+// repository's perf trajectory (BENCH_pr2.json and successors).
 func RunPerfJSON(cfg Config) {
 	cfg = cfg.Normalize()
 	coll := syntheticDefault(cfg, nil)
 	queries := defaultWorkload(coll, cfg)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	pool := exec.NewPool(workers)
 	report := PerfReport{
 		Scale:      cfg.Scale,
 		NumQueries: len(queries),
 		Seed:       cfg.Seed,
 		Objects:    coll.Len(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
 	}
 
 	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
 	tbl := &Table{
-		Title:  "Deterministic perf snapshot (per-method query latency + index size)",
-		Header: []string{"method", "build s", "size MB", "query us", "queries/s", "rows"},
+		Title:  "Deterministic perf snapshot (serial vs batch query latency + index size)",
+		Header: []string{"method", "build s", "size MB", "query us", "queries/s", "batch q/s", "speedup", "rows"},
 	}
 	for _, m := range methods {
 		ix, bs := MeasureBuild(m, coll, temporalir.Options{})
 		rows := 0
-		for _, q := range queries {
-			rows += len(ix.Query(q))
+		serialResults := make([][]model.ObjectID, len(queries))
+		for i, q := range queries {
+			serialResults[i] = ix.Query(q)
+			rows += len(serialResults[i])
 		}
+		batch := exec.RunBatch(pool, queries, ix.Query)
+		batchResults := make([][]model.ObjectID, len(batch))
+		for i, r := range batch {
+			batchResults[i] = r.IDs
+		}
+		serialSum := testutil.WorkloadChecksum(serialResults)
+		batchSum := testutil.WorkloadChecksum(batchResults)
 		qps := Throughput(ix, queries)
-		micros := 0.0
+		bqps := BatchThroughput(ix, queries, pool)
+		micros, bmicros, speedup := 0.0, 0.0, 0.0
 		if qps > 0 {
 			micros = 1e6 / qps
+			speedup = bqps / qps
+		}
+		if bqps > 0 {
+			bmicros = 1e6 / bqps
 		}
 		report.Methods = append(report.Methods, PerfMethod{
-			Method:          string(m),
-			Label:           shortName(m),
-			BuildSeconds:    bs.Seconds,
-			SizeBytes:       ix.SizeBytes(),
-			QueryMicrosMean: micros,
-			QueriesPerSec:   qps,
-			ResultRows:      rows,
+			Method:             string(m),
+			Label:              shortName(m),
+			BuildSeconds:       bs.Seconds,
+			SizeBytes:          ix.SizeBytes(),
+			QueryMicrosMean:    micros,
+			QueriesPerSec:      qps,
+			ResultRows:         rows,
+			BatchMicrosMean:    bmicros,
+			BatchQueriesPerSec: bqps,
+			SpeedupX:           speedup,
+			SerialChecksum:     serialSum,
+			BatchChecksum:      batchSum,
 		})
-		tbl.Add(shortName(m), f2(bs.Seconds), f2(bs.SizeMB), f1(micros), f0(qps), fmt.Sprint(rows))
+		tbl.Add(shortName(m), f2(bs.Seconds), f2(bs.SizeMB), f1(micros), f0(qps), f0(bqps), f2(speedup), fmt.Sprint(rows))
+		if serialSum != batchSum {
+			fmt.Fprintf(cfg.Out, "perfjson: WARNING %s: batch checksum %s != serial %s\n", m, batchSum, serialSum)
+		}
 	}
 	tbl.Fprint(cfg.Out)
 

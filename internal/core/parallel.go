@@ -1,0 +1,141 @@
+package core
+
+import (
+	"repro/internal/dict"
+	"repro/internal/domain"
+	"repro/internal/exec"
+	"repro/internal/hint"
+	"repro/internal/model"
+)
+
+// Parallel query paths for the two irHINT variants. Both algorithms emit
+// per-division outputs that are disjoint (HINT's duplicate-avoidance rule
+// plus the ob.First replica gate), so chunked division scans concatenate
+// into a duplicate-free answer with no merge step; only the output order
+// changes versus the serial traversal.
+
+// parallelCutoff is the minimum relevant-partition count worth fanning.
+const parallelCutoff = 8
+
+// parallelMinPer is the smallest per-chunk partition count.
+const parallelMinPer = 2
+
+// relevantOf collects the relevant partitions with their obligations —
+// the serial prologue shared by both variants' fan-outs.
+func relevantOf[P any](dom domain.Domain, levels []directory[P], q model.Interval) (parts []*P, obs []hint.Obligations) {
+	hint.Visit(dom, q, func(lv hint.LevelVisit) {
+		levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *P) {
+			parts = append(parts, p)
+			obs = append(obs, lv.Oblige(j))
+		})
+	})
+	return parts, obs
+}
+
+// QueryP is Query with the per-division reduced queries fanned across the
+// pool. Results equal Query as a set.
+func (ix *PerfIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnlyP(q.Interval, pool)
+	}
+	parts, obs := relevantOf(ix.dom, ix.levels, q.Interval)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		return ix.Query(q)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var out, scratch []model.ObjectID
+		for i := lo; i < hi; i++ {
+			p, ob := parts[i], obs[i]
+			scratch, out = p.o.query(q, plan, ob.CheckStart, ob.CheckEnd, scratch, out)
+			if ob.First {
+				scratch, out = p.r.query(q, plan, ob.CheckStart, false, scratch, out)
+			}
+		}
+		return out
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func (ix *PerfIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+	parts, obs := relevantOf(ix.dom, ix.levels, q)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		return ix.queryTemporalOnly(q)
+	}
+	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var out []model.ObjectID
+		for i := lo; i < hi; i++ {
+			p, ob := parts[i], obs[i]
+			out = p.o.allIDs(q, ob.CheckStart, ob.CheckEnd, out)
+			if ob.First {
+				out = p.r.allIDs(q, ob.CheckStart, false, out)
+			}
+		}
+		return out
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// QueryP is Query with the per-division filter+intersect steps fanned
+// across the pool, each chunk carrying its own candidate buffer.
+func (ix *SizeIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnlyP(q.Interval, pool)
+	}
+	parts, obs := relevantOf(ix.dom, ix.levels, q.Interval)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		return ix.Query(q)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var out, cbuf []model.ObjectID
+		for i := lo; i < hi; i++ {
+			p, ob := parts[i], obs[i]
+			if p.o.list(plan[0]) != nil {
+				cbuf = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q.Interval, cbuf[:0])
+				out = intersectDiv(&p.o, cbuf, plan, out)
+			}
+			if ob.First && p.r.list(plan[0]) != nil {
+				cbuf = filterReplicas(p.r.ivals, ob.CheckStart, q.Interval, cbuf[:0])
+				out = intersectDiv(&p.r, cbuf, plan, out)
+			}
+		}
+		return out
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func (ix *SizeIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+	parts, obs := relevantOf(ix.dom, ix.levels, q)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		return ix.queryTemporalOnly(q)
+	}
+	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var out []model.ObjectID
+		for i := lo; i < hi; i++ {
+			p, ob := parts[i], obs[i]
+			out = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q, out)
+			if ob.First {
+				out = filterReplicas(p.r.ivals, ob.CheckStart, q, out)
+			}
+		}
+		return out
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	return out
+}

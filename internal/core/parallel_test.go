@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+type queryPer interface {
+	testutil.UpdatableIndex
+	QueryP(q model.Query, pool *exec.Pool) []model.ObjectID
+}
+
+// TestQueryPMatchesSerial checks that both irHINT variants' parallel
+// paths return the serial result set — including after deletions, with
+// empty term lists, and with unknown elements — across pool widths.
+func TestQueryPMatchesSerial(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(c *model.Collection) queryPer
+	}{
+		{"perf", func(c *model.Collection) queryPer { return NewPerf(c) }},
+		{"size", func(c *model.Collection) queryPer { return NewSize(c) }},
+	}
+	pools := []*exec.Pool{nil, exec.NewPool(1), exec.NewPool(4), exec.NewPool(9)}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			cfg := testutil.DefaultConfig(73)
+			c := testutil.RandomCollection(cfg)
+			ix := b.build(c)
+			for i := 10; i < 60; i++ {
+				ix.Delete(c.Objects[i])
+			}
+			queries := testutil.RandomQueries(cfg, 150, 74)
+			queries = append(queries,
+				model.Query{Interval: model.NewInterval(cfg.DomainLo, cfg.DomainHi)},
+				model.Query{Interval: model.NewInterval(cfg.DomainLo, cfg.DomainHi), Elems: []model.ElemID{0, 1}},
+				model.Query{Interval: model.NewInterval(0, 10), Elems: []model.ElemID{model.ElemID(cfg.Dict + 5)}},
+			)
+			for qi, q := range queries {
+				serial := testutil.Canonical(ix.Query(q))
+				for pi, pool := range pools {
+					got := testutil.Canonical(ix.QueryP(q, pool))
+					if !model.EqualIDs(got, serial) {
+						t.Fatalf("%s query %d pool %d: parallel %d ids, serial %d ids",
+							b.name, qi, pi, len(got), len(serial))
+					}
+				}
+			}
+		})
+	}
+}

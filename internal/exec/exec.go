@@ -1,0 +1,203 @@
+// Package exec is the concurrent query-execution layer: a bounded worker
+// pool shared by inter-query (batch) and intra-query (partition fan-out)
+// parallelism, plus batch scheduling helpers.
+//
+// The pool follows a caller-runs design: the goroutine that submits work
+// always participates, and up to Workers()-1 extra goroutines are borrowed
+// from a global token budget with non-blocking acquisition. Two properties
+// fall out of that design:
+//
+//   - Nesting never deadlocks. A batch worker that fans a single query's
+//     partition scans out again simply finds no free tokens when the pool
+//     is saturated and runs its scans serially — intra-query parallelism
+//     costs nothing when inter-query parallelism already fills the cores.
+//   - Total concurrency is bounded by Workers() regardless of how many
+//     batches run at once, which is what lets the HTTP server cap its
+//     in-flight queries independently of the engine's pool size.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; construct
+// with NewPool. A Pool is safe for concurrent use and is typically shared
+// process-wide (one per Engine).
+type Pool struct {
+	workers int
+	// tokens holds the loanable worker budget: Workers()-1 slots, because
+	// the submitting goroutine is always worker zero. Sending acquires a
+	// token, receiving releases it.
+	tokens chan struct{}
+}
+
+// NewPool returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0), the default the Engine uses.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, tokens: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n), on the calling goroutine plus any
+// pool workers it can borrow, and returns when every call has finished.
+// Items are claimed dynamically (work stealing via an atomic cursor), so
+// uneven item costs still balance. fn must be safe for concurrent use.
+func (p *Pool) Map(n int, fn func(i int)) {
+	_ = p.mapInner(nil, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no new
+// item is started; items already running complete. It returns ctx.Err()
+// when the batch was cut short, nil otherwise. Item-level code that wants
+// finer-grained cancellation must watch ctx itself.
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.mapInner(ctx, n, fn)
+}
+
+func (p *Pool) mapInner(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	done := ctx != nil && ctx.Err() != nil
+	if done {
+		return ctx.Err()
+	}
+	if n == 1 || p.workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for helpers := 0; helpers < p.workers-1 && helpers < n-1; helpers++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				run()
+			}()
+		default:
+			// Pool saturated: the caller still runs, so progress is
+			// guaranteed without blocking on another batch's workers.
+			helpers = p.workers // break
+		}
+	}
+	run()
+	wg.Wait()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Chunk is a half-open index range [Lo, Hi) of a fanned-out work list.
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Chunks splits n items into contiguous ranges, at most one per worker
+// and none smaller than minPer items (the fan-out grain below which
+// goroutine overhead beats the scan cost). n <= minPer yields one chunk.
+func Chunks(n, workers, minPer int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if minPer < 1 {
+		minPer = 1
+	}
+	k := workers
+	if k < 1 {
+		k = 1
+	}
+	if max := (n + minPer - 1) / minPer; k > max {
+		k = max
+	}
+	out := make([]Chunk, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo < hi {
+			out = append(out, Chunk{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// MapChunks fans contiguous chunks of [0, n) across the pool and gathers
+// one result per chunk, in chunk order. The per-chunk results are what the
+// index fan-outs concatenate (and, where required, de-duplicate) into the
+// final answer.
+func MapChunks[T any](p *Pool, n, minPer int, fn func(lo, hi int) T) []T {
+	chunks := Chunks(n, p.Workers(), minPer)
+	out := make([]T, len(chunks))
+	if len(chunks) == 1 {
+		out[0] = fn(chunks[0].Lo, chunks[0].Hi)
+		return out
+	}
+	p.Map(len(chunks), func(i int) { out[i] = fn(chunks[i].Lo, chunks[i].Hi) })
+	return out
+}
+
+// Result is one row of a batch evaluation: the matching ids, or the error
+// that prevented the query from running (today only context cancellation).
+type Result struct {
+	IDs []model.ObjectID
+	Err error
+}
+
+// RunBatch evaluates eval over every query concurrently, results[i]
+// matching queries[i]. eval must be safe for concurrent use (every index
+// in the family supports concurrent readers).
+func RunBatch(p *Pool, queries []model.Query, eval func(model.Query) []model.ObjectID) []Result {
+	results := make([]Result, len(queries))
+	p.Map(len(queries), func(i int) {
+		results[i] = Result{IDs: eval(queries[i])}
+	})
+	return results
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation: queries not yet
+// started when ctx fires are marked with Err = ctx.Err() and nil IDs.
+func RunBatchCtx(ctx context.Context, p *Pool, queries []model.Query, eval func(model.Query) []model.ObjectID) []Result {
+	results := make([]Result, len(queries))
+	ran := make([]atomic.Bool, len(queries))
+	_ = p.MapCtx(ctx, len(queries), func(i int) {
+		results[i] = Result{IDs: eval(queries[i])}
+		ran[i].Store(true)
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !ran[i].Load() {
+				results[i] = Result{Err: err}
+			}
+		}
+	}
+	return results
+}

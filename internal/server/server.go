@@ -6,16 +6,37 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	temporalir "repro"
 	"repro/internal/textutil"
 )
+
+// Options tunes the server's admission control.
+type Options struct {
+	// QueryTimeout bounds each search request's evaluation; expired
+	// requests answer 504. Zero selects DefaultQueryTimeout; negative
+	// disables the timeout.
+	QueryTimeout time.Duration
+	// MaxInFlight caps concurrently evaluating search requests. Excess
+	// requests are rejected immediately with 503 and a Retry-After hint —
+	// backpressure instead of a lock convoy. Zero selects
+	// 4 x GOMAXPROCS; negative disables the cap.
+	MaxInFlight int
+}
+
+// DefaultQueryTimeout bounds search evaluation when Options.QueryTimeout
+// is zero.
+const DefaultQueryTimeout = 5 * time.Second
 
 // Server is an http.Handler serving one engine.
 type Server struct {
@@ -23,19 +44,83 @@ type Server struct {
 	// irlint:guarded-by mu
 	engine *temporalir.Engine
 	mux    *http.ServeMux
+	// queryTimeout and inflight are immutable after construction.
+	queryTimeout time.Duration
+	// inflight is the admission semaphore: a slot is held for the whole
+	// evaluation of a search request. nil means uncapped.
+	inflight chan struct{}
 }
 
-// New wraps an engine. The engine must not be mutated elsewhere while the
-// server is live.
+// New wraps an engine with default admission control. The engine must
+// not be mutated elsewhere while the server is live.
 func New(engine *temporalir.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	return NewWithOptions(engine, Options{})
+}
+
+// NewWithOptions wraps an engine with explicit timeout and backpressure
+// settings.
+func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
+	if opts.QueryTimeout == 0 {
+		opts.QueryTimeout = DefaultQueryTimeout
+	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{engine: engine, mux: http.NewServeMux(), queryTimeout: opts.QueryTimeout}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
 	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /objects", s.handleInsert)
 	s.mux.HandleFunc("GET /objects/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
+}
+
+// acquire claims an in-flight slot, reporting false when the server is
+// saturated. release must be called iff acquire returned true.
+func (s *Server) acquire() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// overloaded answers a request rejected by admission control.
+func overloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server overloaded; retry shortly")
+}
+
+// queryCtx derives the per-request evaluation context.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.queryTimeout)
+}
+
+// searchFailure maps an evaluation error to a response.
+func searchFailure(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "query timed out")
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "query aborted: %v", err)
 }
 
 // ServeHTTP implements http.Handler.
@@ -96,20 +181,100 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if !s.acquire() {
+		overloaded(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var hits []searchHit
 	if k > 0 {
+		if err := ctx.Err(); err != nil {
+			searchFailure(w, err)
+			return
+		}
 		for _, res := range s.engine.SearchTopK(start, end, k, terms...) {
 			score := res.Score
 			hits = append(hits, searchHit{ID: res.ID, Score: &score})
 		}
 	} else {
-		for _, id := range s.engine.Search(start, end, terms...) {
+		ids, err := s.engine.SearchCtx(ctx, start, end, terms...)
+		if err != nil {
+			searchFailure(w, err)
+			return
+		}
+		for _, id := range ids {
 			hits = append(hits, searchHit{ID: id})
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(hits), "hits": hits})
+}
+
+// batchRequest is the wire form of POST /search/batch: one interval of
+// interest and many free-text term rows, evaluated concurrently over the
+// engine's worker pool.
+type batchRequest struct {
+	Start   temporalir.Timestamp `json:"start"`
+	End     temporalir.Timestamp `json:"end"`
+	Queries []string             `json:"queries"`
+}
+
+// batchRow is one row of the batch response; rows line up with the
+// request's queries.
+type batchRow struct {
+	Hits  []temporalir.ObjectID `json:"hits"`
+	Error string                `json:"error,omitempty"`
+}
+
+// handleSearchBatch answers POST /search/batch. The whole batch holds
+// one in-flight slot and one evaluation deadline; rows cut off by the
+// deadline report a per-row error while completed rows still return.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Start > req.End {
+		writeError(w, http.StatusBadRequest, "start %d > end %d", req.Start, req.End)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must not be empty")
+		return
+	}
+	termRows := make([][]string, len(req.Queries))
+	for i, q := range req.Queries {
+		termRows[i] = textutil.Tokenize(q, textutil.Options{})
+		if len(termRows[i]) == 0 {
+			writeError(w, http.StatusBadRequest, "query %d has no indexable terms", i)
+			return
+		}
+	}
+	if !s.acquire() {
+		overloaded(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
+	s.mu.RLock()
+	results := s.engine.SearchTermsBatchCtx(ctx, req.Start, req.End, termRows)
+	s.mu.RUnlock()
+	rows := make([]batchRow, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			rows[i] = batchRow{Error: res.Err.Error()}
+			continue
+		}
+		rows[i] = batchRow{Hits: res.IDs}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "results": rows})
 }
 
 // handleInsert answers POST /objects with an objectJSON body (id ignored).

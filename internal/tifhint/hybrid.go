@@ -195,36 +195,14 @@ func (ix *HybridIndex) Query(q model.Query) []model.ObjectID {
 		for i := range keep {
 			keep[i] = false
 		}
+		// Candidates already overlap the query; any live replica proves
+		// membership, and the keep-mask is idempotent, so replicated
+		// matches are harmless.
 		for s := sf; s <= sl; s++ {
-			sub := ix.slices[e][s]
-			i, j := 0, 0
-			for i < len(cands) && j < len(sub) {
-				switch {
-				case cands[i] < sub[j].ID:
-					i++
-				case cands[i] > sub[j].ID:
-					j++
-				default:
-					// Candidates already overlap the query; any live
-					// replica proves membership, and the keep-mask is
-					// idempotent, so replicated matches are harmless.
-					if sub[j].Start != deadStart {
-						keep[i] = true
-					}
-					i++
-					j++
-				}
-			}
+			markSlice(ix.slices[e][s], cands, keep)
 		}
-		w := 0
-		for i, k := range keep {
-			if k {
-				cands[w] = cands[i]
-				w++
-			}
-		}
-		cands = cands[:w]
-		keep = keep[:w]
+		cands = compact(cands, keep)
+		keep = keep[:len(cands)]
 	}
 	return cands
 }

@@ -169,14 +169,7 @@ func (h *idHint) intersect(q model.Interval, cands []model.ObjectID, keep []bool
 			}
 		})
 	})
-	w := 0
-	for i, k := range keep {
-		if k {
-			cands[w] = cands[i]
-			w++
-		}
-	}
-	return cands[:w]
+	return compact(cands, keep)
 }
 
 func markMatches(div []postings.Posting, cands []model.ObjectID, keep []bool) {

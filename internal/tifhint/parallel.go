@@ -1,0 +1,315 @@
+package tifhint
+
+import (
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/hint"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// Parallel query paths for the three tIF+HINT composites. Each QueryP
+// answers exactly the same id set as Query — only the output order may
+// differ, because the intra-query fan-out interleaves partition chunks.
+// The de-duplication arguments are unchanged from the serial paths:
+// HINT's assignment reports each interval once across relevant
+// partitions, and the keep-mask intersections are idempotent, so OR-ing
+// per-chunk masks preserves the reference-value de-dup.
+
+// parallelCutoff is the minimum fan-out width (relevant partitions,
+// slices, or postings lists) worth paying chunk bookkeeping for.
+const parallelCutoff = 8
+
+// parallelMinPer is the smallest per-chunk unit count.
+const parallelMinPer = 2
+
+// idRelevant pairs a relevant id-sorted partition with its obligations.
+type idRelevant struct {
+	p  *idPart
+	ob hint.Obligations
+}
+
+func (h *idHint) relevant(q model.Interval, dst []idRelevant) []idRelevant {
+	hint.Visit(h.dom, q, func(lv hint.LevelVisit) {
+		h.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *idPart) {
+			dst = append(dst, idRelevant{p: p, ob: lv.Oblige(j)})
+		})
+	})
+	return dst
+}
+
+func scanRelevant(parts []idRelevant, q model.Interval, dst []model.ObjectID) []model.ObjectID {
+	for _, rp := range parts {
+		dst = scanDivision(rp.p.o, rp.ob.CheckStart, rp.ob.CheckEnd, q, dst)
+		if rp.ob.First {
+			dst = scanDivision(rp.p.r, rp.ob.CheckStart, false, q, dst)
+		}
+	}
+	return dst
+}
+
+// rangeQueryParallel fans the division scans of rangeQuery across the
+// pool. Ids stay duplicate-free; order is nondeterministic.
+func (h *idHint) rangeQueryParallel(q model.Interval, pool *exec.Pool, dst []model.ObjectID) []model.ObjectID {
+	parts := h.relevant(q, nil)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		return scanRelevant(parts, q, dst)
+	}
+	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		return scanRelevant(parts[lo:hi], q, nil)
+	})
+	for _, b := range partials {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// intersectParallel is intersect with the per-division merges fanned
+// across the pool: each chunk marks matches into its own mask, and the
+// masks are OR-ed before the compaction — idempotence of the keep-mask
+// makes the merge order irrelevant. Candidate order is preserved, exactly
+// as in the serial path.
+func (h *idHint) intersectParallel(q model.Interval, cands []model.ObjectID, keep []bool, pool *exec.Pool) []model.ObjectID {
+	parts := h.relevant(q, nil)
+	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
+		for i := range keep {
+			keep[i] = false
+		}
+		for _, rp := range parts {
+			markMatches(rp.p.o, cands, keep)
+			if rp.ob.First {
+				markMatches(rp.p.r, cands, keep)
+			}
+		}
+		return compact(cands, keep)
+	}
+	masks := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []bool {
+		mask := make([]bool, len(cands))
+		for _, rp := range parts[lo:hi] {
+			markMatches(rp.p.o, cands, mask)
+			if rp.ob.First {
+				markMatches(rp.p.r, cands, mask)
+			}
+		}
+		return mask
+	})
+	for i := range keep {
+		keep[i] = false
+	}
+	for _, mask := range masks {
+		for i, k := range mask {
+			if k {
+				keep[i] = true
+			}
+		}
+	}
+	return compact(cands, keep)
+}
+
+func compact(cands []model.ObjectID, keep []bool) []model.ObjectID {
+	w := 0
+	for i, k := range keep {
+		if k {
+			cands[w] = cands[i]
+			w++
+		}
+	}
+	return cands[:w]
+}
+
+// QueryP is Query with intra-query parallelism: the initial range query
+// fans across partitions, and each candidate probe pass fans across the
+// further element's partitions. Results equal Query as a set.
+func (ix *BinaryIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	if pool == nil || pool.Workers() <= 1 {
+		return ix.Query(q)
+	}
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnlyP(q.Interval, pool)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
+		return nil
+	}
+	cands := ix.hints[first].RangeQueryParallel(q.Interval, pool, nil)
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		model.SortIDs(cands)
+		sorted := cands
+		cands = ix.hints[e].RangeQueryFilteredParallel(q.Interval, func(id model.ObjectID) bool {
+			return postings.ContainsSorted(sorted, id)
+		}, pool, nil)
+	}
+	return cands
+}
+
+func (ix *BinaryIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var buf []model.ObjectID
+		for _, h := range ix.hints[lo:hi] {
+			if h != nil {
+				buf = h.RangeQuery(q, buf)
+			}
+		}
+		return buf
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// QueryP is Query with the range query and each merge intersection fanned
+// across the pool.
+func (ix *MergeIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	if pool == nil || pool.Workers() <= 1 {
+		return ix.Query(q)
+	}
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnlyP(q.Interval, pool)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
+		return nil
+	}
+	cands := ix.hints[first].rangeQueryParallel(q.Interval, pool, nil)
+	model.SortIDs(cands)
+	var keep []bool
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		if cap(keep) < len(cands) {
+			keep = make([]bool, len(cands))
+		}
+		cands = ix.hints[e].intersectParallel(q.Interval, cands, keep[:len(cands)], pool)
+	}
+	return cands
+}
+
+func (ix *MergeIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var buf []model.ObjectID
+		for _, h := range ix.hints[lo:hi] {
+			if h != nil {
+				buf = h.rangeQuery(q, buf)
+			}
+		}
+		return buf
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// QueryP is Query with the range query fanned across partitions and the
+// sliced intersections fanned across slices, per-chunk keep masks OR-ed
+// under the same idempotent reference-value de-dup as the serial path.
+func (ix *HybridIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	if pool == nil || pool.Workers() <= 1 {
+		return ix.Query(q)
+	}
+	if len(q.Elems) == 0 {
+		return ix.queryTemporalOnlyP(q.Interval, pool)
+	}
+	plan := dict.PlanOrder(q.Elems, ix.freqs)
+	first := plan[0]
+	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
+		return nil
+	}
+	cands := ix.hints[first].rangeQueryParallel(q.Interval, pool, nil)
+	model.SortIDs(cands)
+	if len(plan) == 1 {
+		return cands
+	}
+	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
+	keep := make([]bool, len(cands))
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		subs := ix.slices[e][sf : sl+1]
+		for i := range keep {
+			keep[i] = false
+		}
+		if len(subs) < parallelCutoff {
+			for _, sub := range subs {
+				markSlice(sub, cands, keep)
+			}
+		} else {
+			masks := exec.MapChunks(pool, len(subs), parallelMinPer, func(lo, hi int) []bool {
+				mask := make([]bool, len(cands))
+				for _, sub := range subs[lo:hi] {
+					markSlice(sub, cands, mask)
+				}
+				return mask
+			})
+			for _, mask := range masks {
+				for i, k := range mask {
+					if k {
+						keep[i] = true
+					}
+				}
+			}
+		}
+		cands = compact(cands, keep)
+		keep = keep[:len(cands)]
+	}
+	return cands
+}
+
+// markSlice is the per-slice merge of HybridIndex.Query, factored out so
+// serial and parallel paths share one implementation.
+func markSlice(sub []slicePair, cands []model.ObjectID, keep []bool) {
+	i, j := 0, 0
+	for i < len(cands) && j < len(sub) {
+		switch {
+		case cands[i] < sub[j].ID:
+			i++
+		case cands[i] > sub[j].ID:
+			j++
+		default:
+			if sub[j].Start != deadStart {
+				keep[i] = true
+			}
+			i++
+			j++
+		}
+	}
+}
+
+func (ix *HybridIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
+		var buf []model.ObjectID
+		for _, h := range ix.hints[lo:hi] {
+			if h != nil {
+				buf = h.rangeQuery(q, buf)
+			}
+		}
+		return buf
+	})
+	var out []model.ObjectID
+	for _, b := range partials {
+		out = append(out, b...)
+	}
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}

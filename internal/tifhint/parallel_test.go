@@ -1,0 +1,57 @@
+package tifhint
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+// queryPer is implemented by the three composites' parallel paths.
+type queryPer interface {
+	testutil.UpdatableIndex
+	QueryP(q model.Query, pool *exec.Pool) []model.ObjectID
+}
+
+// TestQueryPMatchesSerial checks that every composite's parallel path
+// returns the serial result set — including after deletions, with empty
+// term lists, and with unknown elements — across pool widths.
+func TestQueryPMatchesSerial(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(c *model.Collection) queryPer
+	}{
+		{"binary", func(c *model.Collection) queryPer { return NewBinary(c) }},
+		{"merge", func(c *model.Collection) queryPer { return NewMerge(c) }},
+		{"hybrid", func(c *model.Collection) queryPer { return NewHybrid(c) }},
+	}
+	pools := []*exec.Pool{nil, exec.NewPool(1), exec.NewPool(4), exec.NewPool(9)}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			cfg := testutil.DefaultConfig(71)
+			c := testutil.RandomCollection(cfg)
+			ix := b.build(c)
+			// Delete a band of objects so tombstones are exercised too.
+			for i := 10; i < 60; i++ {
+				ix.Delete(c.Objects[i])
+			}
+			queries := testutil.RandomQueries(cfg, 150, 72)
+			queries = append(queries,
+				model.Query{Interval: model.NewInterval(cfg.DomainLo, cfg.DomainHi)},
+				model.Query{Interval: model.NewInterval(cfg.DomainLo, cfg.DomainHi), Elems: []model.ElemID{0, 1}},
+				model.Query{Interval: model.NewInterval(0, 10), Elems: []model.ElemID{model.ElemID(cfg.Dict + 5)}},
+			)
+			for qi, q := range queries {
+				serial := testutil.Canonical(ix.Query(q))
+				for pi, pool := range pools {
+					got := testutil.Canonical(ix.QueryP(q, pool))
+					if !model.EqualIDs(got, serial) {
+						t.Fatalf("%s query %d pool %d: parallel %d ids, serial %d ids",
+							b.name, qi, pi, len(got), len(serial))
+					}
+				}
+			}
+		})
+	}
+}

@@ -569,6 +569,89 @@ func (s *Store) Snapshot() int {
 			want: 0,
 		},
 		{
+			// The executor pattern of the root exec.go: the batch entry
+			// point takes RLock, reads guarded fields to snapshot a view,
+			// and fans work out through worker closures textually inside
+			// the locked region. The textual-order replay treats those
+			// closure-body accesses as lock-held — the lock genuinely
+			// outlives the workers because the fan-out joins before the
+			// deferred unlock runs.
+			name:     "executor fan-out closure inside locked region conforms",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Engine struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+	// irlint:guarded-by mu
+	pool *Pool
+}
+
+type Pool struct{ workers int }
+
+func (p *Pool) Map(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); fn(0) }()
+	}
+	wg.Wait()
+}
+
+func (e *Engine) SetPool(p *Pool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool = p
+}
+
+func (e *Engine) Batch(n int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int, n)
+	e.pool.Map(n, func(i int) {
+		out[i] = e.data[i]
+	})
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "fan-out closure touching guarded state without lock flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync"
+
+type Engine struct {
+	mu sync.RWMutex
+	// irlint:guarded-by mu
+	data map[int]int
+}
+
+func (e *Engine) BadBatch(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = e.data[i]
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"Engine.data"},
+		},
+		{
 			name:     "guarded-by naming a missing mutex flagged",
 			analyzer: "lock-guard",
 			path:     ModulePath + "/internal/fix",

@@ -26,11 +26,9 @@ package temporalir
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/join"
 	"repro/internal/model"
 	"repro/internal/sharding"
@@ -260,40 +258,18 @@ func QueryAny(ix Index, q Query) []ObjectID {
 	return model.DedupIDs(out)
 }
 
-// QueryBatch evaluates many queries concurrently over one index using up
-// to parallelism goroutines (0 = GOMAXPROCS). Indices are safe for
-// concurrent readers, so batch workloads — the many-users archive-search
-// setting the paper's throughput metric models — scale with cores.
-// results[i] corresponds to queries[i].
+// QueryBatch evaluates many queries concurrently over one index using a
+// bounded worker pool of the given size (0 = GOMAXPROCS). Indices are
+// safe for concurrent readers, so batch workloads — the many-users
+// archive-search setting the paper's throughput metric models — scale
+// with cores. results[i] corresponds to queries[i]. Engines expose the
+// richer SearchBatch, which adds tombstone filtering, intra-query
+// fan-out and a shared tunable pool.
 func QueryBatch(ix Index, queries []Query, parallelism int) [][]ObjectID {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
+	pool := exec.NewPool(parallelism)
 	results := make([][]ObjectID, len(queries))
-	if parallelism <= 1 {
-		for i, q := range queries {
-			results[i] = ix.Query(q)
-		}
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
-				results[i] = ix.Query(queries[i])
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Map(len(queries), func(i int) {
+		results[i] = ix.Query(queries[i])
+	})
 	return results
 }
