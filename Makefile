@@ -22,12 +22,14 @@ race:
 	$(GO) test -race ./...
 
 invariants:
-	$(GO) test -tags invariants . ./internal/domain ./internal/postings ./internal/hint
+	$(GO) test -tags invariants . ./internal/domain ./internal/postings ./internal/hint ./internal/maint
 
-# Deterministic perf snapshot: fixed seed and workload, per-method query
-# latency and index size, written as JSON for the perf trajectory.
+# Deterministic perf snapshots: fixed seed and workload, written as JSON
+# for the perf trajectory (per-method latency/size, then the tombstone-load
+# before/after-compaction series).
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
+	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

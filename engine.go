@@ -1,12 +1,13 @@
 package temporalir
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/aggregate"
 	"repro/internal/dict"
-	"repro/internal/exec"
+	"repro/internal/maint"
 	"repro/internal/model"
 	"repro/internal/rank"
 )
@@ -42,164 +43,184 @@ func (b *Builder) Add(start, end Timestamp, terms ...string) ObjectID {
 // Len returns the number of objects added so far.
 func (b *Builder) Len() int { return b.coll.Len() }
 
-// Build constructs an Engine over the accumulated objects.
+// Build constructs an Engine over the accumulated objects. The engine is
+// fully detached from the builder: further Add calls affect neither the
+// engine's collection nor its dictionary, so one builder can seed many
+// engines (or keep accumulating) safely.
 func (b *Builder) Build(m Method, opts Options) (*Engine, error) {
-	ix, err := NewIndex(m, &b.coll, opts)
+	coll := &Collection{
+		Objects:  append([]Object(nil), b.coll.Objects...),
+		DictSize: b.coll.DictSize,
+	}
+	return newEngine(b.dict.Clone(), coll, m, opts)
+}
+
+// Engine pairs a generational store with the dictionary, exposing a
+// string-term search surface. An Engine is safe for concurrent use, and
+// reads never wait on writers: every query runs against an immutable
+// generation snapshot (main index + memtable + tombstones) obtained with
+// one atomic load; Insert and Delete publish new generations, and
+// Compact folds accumulated changes into a freshly built main index off
+// the read path (see internal/maint).
+type Engine struct {
+	// method and opts are immutable after construction and need no guard.
+	method Method
+	opts   Options
+
+	// dmu guards only the dictionary: term interning on Insert vs. term
+	// resolution on the search surface. Critical sections are tiny (map
+	// lookups), never held across index scans.
+	dmu sync.RWMutex
+	// irlint:guarded-by dmu
+	dict *dict.Dictionary
+
+	// store owns the generational object/index state; it has its own
+	// internal synchronization.
+	store *maint.Store
+
+	// pool executes batch and intra-query fan-out; nil selects the shared
+	// defaultPool. Replaced wholesale by SetParallelism.
+	pool atomicPool
+}
+
+// newEngine wires a dictionary, a detached collection and a generational
+// store into an Engine. The collection must use dense position ids
+// (Objects[i].ID == i), which Builder, LoadEngine and
+// EngineFromCollection all guarantee.
+func newEngine(d *dict.Dictionary, coll *Collection, m Method, opts Options) (*Engine, error) {
+	ix, err := NewIndex(m, coll, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{dict: b.dict, coll: &b.coll, index: ix, method: m, deleted: map[ObjectID]bool{}}, nil
-}
-
-// Engine pairs an index with the dictionary and object store, exposing a
-// string-term search surface. An Engine is safe for concurrent use: reads
-// (Search and friends) run in parallel, mutations (Insert, Delete,
-// RefreshScorer) serialize behind a writer lock.
-type Engine struct {
-	mu sync.RWMutex
-	// method is immutable after construction and needs no guard.
-	method Method
-	// irlint:guarded-by mu
-	dict *dict.Dictionary
-	// irlint:guarded-by mu
-	coll *Collection
-	// irlint:guarded-by mu
-	index Index
-	// irlint:guarded-by mu
-	scorer *rank.Scorer
-	// irlint:guarded-by mu
-	deleted map[ObjectID]bool
-	// pool executes batch and intra-query fan-out; nil selects the shared
-	// defaultPool. Replaced wholesale by SetParallelism, never mutated.
-	// irlint:guarded-by mu
-	pool *exec.Pool
-}
-
-// liveIndex wraps an index so every query result is filtered against the
-// engine's tombstone set. Index implementations differ in how thoroughly
-// Delete hides entries (some only mark interval-store copies); routing
-// every engine query through this wrapper makes deletion behavior uniform
-// across all Method values.
-type liveIndex struct {
-	inner   Index
-	deleted map[ObjectID]bool
-}
-
-// Query filters tombstoned ids out of the inner result, in place.
-func (li liveIndex) Query(q Query) []ObjectID {
-	ids := li.inner.Query(q)
-	if len(li.deleted) == 0 {
-		return ids
+	build := func(c *model.Collection) (maint.Index, error) {
+		return NewIndex(m, c, opts)
 	}
-	w := 0
-	for _, id := range ids {
-		if !li.deleted[id] {
-			ids[w] = id
-			w++
-		}
-	}
-	return ids[:w]
+	return &Engine{
+		method: m,
+		opts:   opts,
+		dict:   d,
+		store:  maint.NewStore(coll, ix, build),
+	}, nil
 }
 
-// Insert passes through to the inner index.
-func (li liveIndex) Insert(o Object) { li.inner.Insert(o) }
+// snapshot returns the current immutable read generation. All query
+// paths go through it; none of them touch engine fields afterwards
+// except the dictionary (under dmu).
+func (e *Engine) snapshot() *maint.Generation { return e.store.Snapshot() }
 
-// Delete passes through to the inner index.
-func (li liveIndex) Delete(o Object) { li.inner.Delete(o) }
-
-// Len passes through to the inner index.
-func (li liveIndex) Len() int { return li.inner.Len() }
-
-// SizeBytes passes through to the inner index.
-func (li liveIndex) SizeBytes() int64 { return li.inner.SizeBytes() }
-
-// live returns the tombstone-filtering view of the engine's index.
-// Callers must hold e.mu.
+// lookupLocked resolves one term. Callers must hold e.dmu (read or
+// write).
 //
-// irlint:locked mu
-func (e *Engine) live() liveIndex {
-	assertEngineLocked(&e.mu, "Engine.live")
-	return liveIndex{inner: e.index, deleted: e.deleted}
+// irlint:locked dmu
+func (e *Engine) lookupLocked(term string) (ElemID, bool) {
+	assertEngineLocked(&e.dmu, "Engine.lookupLocked")
+	return e.dict.Lookup(term)
+}
+
+// resolveTerms maps terms to element ids under the dictionary lock,
+// reporting ok=false if any term is unknown (the conjunction cannot be
+// satisfied then).
+func (e *Engine) resolveTerms(terms []string) ([]ElemID, bool) {
+	e.dmu.RLock()
+	defer e.dmu.RUnlock()
+	elems := make([]ElemID, 0, len(terms))
+	for _, t := range terms {
+		id, ok := e.lookupLocked(t)
+		if !ok {
+			return nil, false
+		}
+		elems = append(elems, id)
+	}
+	return elems, true
 }
 
 // Method returns the index implementation in use.
 func (e *Engine) Method() Method { return e.method }
 
-// Index exposes the underlying index for advanced use. The returned
-// index is only safe for concurrent reads; coordinate with the engine's
-// mutation methods externally.
-func (e *Engine) Index() Index {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.index
-}
+// Index exposes the current generation's main index for advanced use.
+// It covers the compacted prefix only — objects inserted since the last
+// compaction (memtable) and pending deletions (tombstones) are not
+// reflected; the engine's own search methods always see both. The
+// returned index is immutable and safe for concurrent reads.
+func (e *Engine) Index() Index { return e.snapshot().Base() }
 
 // Len returns the number of live (non-tombstoned) objects.
-func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.coll.Objects) - len(e.deleted)
+func (e *Engine) Len() int { return e.snapshot().Len() }
+
+// SizeBytes estimates the engine's resident size: main index, memtable,
+// tombstones and the id-translation table.
+func (e *Engine) SizeBytes() int64 { return e.snapshot().SizeBytes() }
+
+// Compact merges the memtable into the object store, physically drops
+// tombstoned objects, rebuilds the index off the read path and
+// atomically swaps in the new generation; see maint.Store.Compact.
+// Queries keep running against the old generation throughout. It returns
+// ErrCompactionRunning if a compaction is already in flight.
+func (e *Engine) Compact(ctx context.Context) (CompactionStats, error) {
+	return e.store.Compact(ctx)
 }
 
-// SizeBytes estimates the index's resident size.
-func (e *Engine) SizeBytes() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.index.SizeBytes()
-}
+// CompactStats reports the engine's generational state and compaction
+// history.
+func (e *Engine) CompactStats() CompactionStats { return e.store.Stats() }
+
+// SetCompactionPolicy installs (or, with the zero value, disables)
+// automatic background compaction, triggered after Insert/Delete when
+// the memtable or tombstone thresholds are crossed.
+func (e *Engine) SetCompactionPolicy(p CompactionPolicy) { e.store.SetPolicy(p) }
 
 // Search runs a time-travel IR query: objects overlapping [start, end]
 // whose description contains every term. Unknown terms make the result
 // empty (the conjunction cannot be satisfied). Results are in ascending
 // id order.
 func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	elems := make([]ElemID, 0, len(terms))
-	for _, t := range terms {
-		id, ok := e.dict.Lookup(t)
-		if !ok {
-			return nil
-		}
-		elems = append(elems, id)
+	elems, ok := e.resolveTerms(terms)
+	if !ok {
+		return nil
 	}
-	ids := e.live().Query(Query{
+	g := e.snapshot()
+	ids := g.Query(Query{
 		Interval: model.Canon(start, end),
 		Elems:    model.NormalizeElems(elems),
 	})
 	SortIDs(ids)
-	return ids
+	return g.External(ids)
 }
 
 // SearchAny runs the disjunctive counterpart of Search: objects alive in
 // [start, end] containing at least one of the terms. Unknown terms are
 // ignored (they cannot contribute matches).
 func (e *Engine) SearchAny(start, end Timestamp, terms ...string) []ObjectID {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.dmu.RLock()
 	elems := make([]ElemID, 0, len(terms))
 	for _, t := range terms {
-		if id, ok := e.dict.Lookup(t); ok {
+		if id, ok := e.lookupLocked(t); ok {
 			elems = append(elems, id)
 		}
 	}
+	e.dmu.RUnlock()
 	if len(elems) == 0 {
 		return nil
 	}
-	return QueryAny(e.live(), Query{
-		Interval: model.Canon(start, end),
-		Elems:    model.NormalizeElems(elems),
-	})
+	g := e.snapshot()
+	iv := model.Canon(start, end)
+	var out []ObjectID
+	for _, el := range model.NormalizeElems(elems) {
+		out = append(out, g.Query(Query{Interval: iv, Elems: []ElemID{el}})...)
+	}
+	SortIDs(out)
+	return g.External(model.DedupIDs(out))
 }
 
 // Object returns the lifespan and terms of an object.
 func (e *Engine) Object(id ObjectID) (Interval, []string, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if int(id) >= len(e.coll.Objects) || e.deleted[id] {
+	g := e.snapshot()
+	o, ok := g.Lookup(id)
+	if !ok {
 		return Interval{}, nil, fmt.Errorf("temporalir: unknown object %d", id)
 	}
-	o := &e.coll.Objects[id]
+	e.dmu.RLock()
+	defer e.dmu.RUnlock()
 	terms := make([]string, len(o.Elems))
 	for i, el := range o.Elems {
 		terms[i] = e.dict.Term(el)
@@ -207,21 +228,28 @@ func (e *Engine) Object(id ObjectID) (Interval, []string, error) {
 	return o.Interval, terms, nil
 }
 
-// Insert adds a new object to both the store and the index, returning its
-// id.
+// Insert adds a new object to the store's memtable, returning its id.
+// The id is stable: it survives compaction even though the underlying
+// index is rebuilt with dense internal ids.
 func (e *Engine) Insert(start, end Timestamp, terms ...string) ObjectID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	iv := NewInterval(start, end) // validate before interning any terms
+	e.dmu.Lock()
 	elems := e.dict.AddObject(terms)
-	iv := NewInterval(start, end)
-	id := ObjectID(len(e.coll.Objects))
-	o := Object{ID: id, Interval: iv, Elems: elems}
-	e.coll.Objects = append(e.coll.Objects, o)
-	if e.dict.Len() > e.coll.DictSize {
-		e.coll.DictSize = e.dict.Len()
+	ds := e.dict.Len()
+	e.dmu.Unlock()
+	return e.store.Append(iv, elems, ds)
+}
+
+// Delete tombstones an object by id; the next compaction physically
+// removes it. Deleting an unknown (or already compacted-away) id is an
+// error; deleting an already-tombstoned id is a no-op.
+func (e *Engine) Delete(id ObjectID) error {
+	g := e.snapshot()
+	if _, ok := g.Internal(id); !ok {
+		return fmt.Errorf("temporalir: unknown object %d", id)
 	}
-	e.index.Insert(o)
-	return id
+	e.store.Delete(id)
+	return nil
 }
 
 // ScoredResult is one ranked hit of SearchTopK.
@@ -237,43 +265,36 @@ type ScoredResult struct {
 // collection at the first ranked search; call RefreshScorer after bulk
 // updates to re-weigh.
 func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []ScoredResult {
-	e.ensureScorer()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	elems := make([]ElemID, 0, len(terms))
-	for _, t := range terms {
-		id, ok := e.dict.Lookup(t)
-		if !ok {
-			return nil
-		}
-		elems = append(elems, id)
+	g := e.ensureScorer()
+	elems, ok := e.resolveTerms(terms)
+	if !ok {
+		return nil
 	}
 	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
-	results := rank.TopK(e.live(), e.coll, e.scorer, q, k)
+	results := rank.TopK(g, g.Coll(), g.Scorer(), q, k)
 	out := make([]ScoredResult, len(results))
 	for i, r := range results {
-		out[i] = ScoredResult{ID: r.ID, Score: r.Score}
+		out[i] = ScoredResult{ID: g.ExternalID(r.ID), Score: r.Score}
 	}
 	return out
 }
 
-// ensureScorer lazily initializes the IDF scorer through the writer lock,
-// so concurrent ranked searches never race on the shared field.
-func (e *Engine) ensureScorer() {
-	e.mu.RLock()
-	ready := e.scorer != nil
-	e.mu.RUnlock()
-	if !ready {
-		e.RefreshScorer()
+// ensureScorer returns a generation that carries an IDF scorer, lazily
+// computing one on first use. Concurrent first calls may both compute;
+// publication is serialized inside the store, so the race is benign.
+func (e *Engine) ensureScorer() *maint.Generation {
+	if g := e.snapshot(); g.Scorer() != nil {
+		return g
 	}
+	e.RefreshScorer()
+	return e.snapshot()
 }
 
 // RefreshScorer recomputes the IDF weights used by SearchTopK from the
 // current collection contents.
 func (e *Engine) RefreshScorer() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.scorer = rank.NewScorer(e.coll, rank.ScorerConfig{})
+	g := e.snapshot()
+	e.store.SetScorer(rank.NewScorer(g.Coll(), rank.ScorerConfig{}))
 }
 
 // TimelineBucket is one row of Timeline's temporal histogram.
@@ -289,39 +310,15 @@ type TimelineBucket struct {
 // reports how many matching objects were alive in it (and for how long) —
 // "how did interest in these terms evolve across the period".
 func (e *Engine) Timeline(start, end Timestamp, buckets int, terms ...string) []TimelineBucket {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	elems := make([]ElemID, 0, len(terms))
-	for _, t := range terms {
-		id, ok := e.dict.Lookup(t)
-		if !ok {
-			return nil
-		}
-		elems = append(elems, id)
+	elems, ok := e.resolveTerms(terms)
+	if !ok {
+		return nil
 	}
+	g := e.snapshot()
 	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
 	out := make([]TimelineBucket, 0, buckets)
-	for _, b := range aggregate.Histogram(e.live(), e.coll, q, buckets) {
+	for _, b := range aggregate.Histogram(g, g.Coll(), q, buckets) {
 		out = append(out, TimelineBucket{Start: b.Span.Start, End: b.Span.End, Count: b.Count, Mass: b.Mass})
 	}
 	return out
-}
-
-// Delete tombstones an object by id. Deleting an already-deleted object
-// is a no-op.
-func (e *Engine) Delete(id ObjectID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if int(id) >= len(e.coll.Objects) {
-		return fmt.Errorf("temporalir: unknown object %d", id)
-	}
-	if e.deleted[id] {
-		return nil
-	}
-	e.index.Delete(e.coll.Objects[id])
-	if e.deleted == nil {
-		e.deleted = map[ObjectID]bool{}
-	}
-	e.deleted[id] = true
-	return nil
 }

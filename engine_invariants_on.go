@@ -17,12 +17,13 @@ const engineInvariantsEnabled = true
 // assertEngineLocked panics if mu is not held (read or write) by anyone.
 // It exploits TryLock: acquiring the exclusive lock succeeds only when no
 // reader or writer holds mu, so success proves the caller violated the
-// "must hold e.mu" contract. On failure somebody holds the lock — by the
-// contract, the caller — and the probe cost is a single atomic.
+// "must hold the lock" contract (today the dictionary lock e.dmu). On
+// failure somebody holds the lock — by the contract, the caller — and
+// the probe cost is a single atomic.
 func assertEngineLocked(mu *sync.RWMutex, site string) {
 	if mu.TryLock() {
 		mu.Unlock()
 		// lint:panic-ok invariants-build assertion, compiled out of normal builds
-		panic("temporalir: " + site + " called without holding e.mu (invariant violation)")
+		panic("temporalir: " + site + " called without holding the required lock (invariant violation)")
 	}
 }

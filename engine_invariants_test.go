@@ -2,12 +2,15 @@
 
 package temporalir
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestAssertEngineLockedFires pins the dynamic half of the lock-guard
-// contract: calling the lock-requiring live() helper without e.mu held
-// must abort under the invariants build. The static analyzer proves the
-// lock is taken on every in-tree path; this assertion catches future
+// contract: calling the lock-requiring lookupLocked helper without e.dmu
+// held must abort under the invariants build. The static analyzer proves
+// the lock is taken on every in-tree path; this assertion catches future
 // paths the linter's annotations do not cover.
 func TestAssertEngineLockedFires(t *testing.T) {
 	if !engineInvariantsEnabled {
@@ -21,11 +24,11 @@ func TestAssertEngineLockedFires(t *testing.T) {
 	}
 	defer func() {
 		if recover() == nil {
-			t.Error("live() without e.mu held: expected invariant panic, got none")
+			t.Error("lookupLocked() without e.dmu held: expected invariant panic, got none")
 		}
 	}()
 	// lint:guard-ok deliberate contract violation under test
-	e.live()
+	e.lookupLocked("alpha")
 }
 
 // TestAssertEngineLockedSilentUnderLock checks both lock grades satisfy
@@ -37,10 +40,38 @@ func TestAssertEngineLockedSilentUnderLock(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	e.mu.RLock()
-	e.live()
-	e.mu.RUnlock()
-	e.mu.Lock()
-	e.live()
-	e.mu.Unlock()
+	e.dmu.RLock()
+	e.lookupLocked("alpha")
+	e.dmu.RUnlock()
+	e.dmu.Lock()
+	e.lookupLocked("alpha")
+	e.dmu.Unlock()
+}
+
+// TestGenerationInvariantsExercised publishes a stream of generations
+// (inserts, deletes, compaction) with checkGeneration live on every
+// publish — any structural violation panics the test.
+func TestGenerationInvariantsExercised(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 32; i++ {
+		b.Add(Timestamp(i), Timestamp(i+10), "alpha", "beta")
+	}
+	e, err := b.Build(IRHintPerf, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		e.Insert(Timestamp(i), Timestamp(i+3), "gamma")
+	}
+	for id := ObjectID(0); id < 24; id += 2 {
+		if err := e.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+	}
+	if _, err := e.Compact(context.Background()); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := e.Len(); got != 32+16-12 {
+		t.Fatalf("Len after compact = %d, want %d", got, 32+16-12)
+	}
 }

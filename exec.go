@@ -2,8 +2,10 @@ package temporalir
 
 import (
 	"context"
+	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/maint"
 	"repro/internal/model"
 )
 
@@ -11,13 +13,12 @@ import (
 // worker pool of internal/exec, context-aware single searches, and the
 // intra-query fan-out hook for HINT-backed indices.
 //
-// Locking discipline: every batch entry point takes e.mu.RLock once, for
-// the whole batch, and captures the tombstone-filtering view plus the
-// pool before fanning out. The worker goroutines touch only those
-// captured values — never the guarded fields — and the lock outlives
-// them, because Map returns only after every worker has finished. Writers
-// therefore serialize against whole batches, exactly as they do against
-// single searches.
+// Concurrency discipline: every batch entry point loads one generation
+// snapshot and fans out over it. The snapshot is immutable — writers
+// publish new generations instead of mutating it — so workers run
+// without any lock and a batch sees one consistent view no matter how
+// many inserts, deletes or compactions land mid-flight. Only term
+// resolution takes the (tiny) dictionary read lock, once per batch.
 
 // Result is one row of a batch search: the matching ids in ascending
 // order, or the error that prevented the query from running (today only
@@ -27,34 +28,8 @@ type Result struct {
 	Err error
 }
 
-// parallelIndex is implemented by the index variants that can fan one
-// query's partition scans across a worker pool. Engines fall back to the
-// serial Query for the rest of the family.
-type parallelIndex interface {
-	QueryP(q Query, pool *exec.Pool) []ObjectID
-}
-
-// queryP answers q with intra-query parallelism when the inner index
-// supports it, then filters tombstones exactly like Query.
-func (li liveIndex) queryP(q Query, pool *exec.Pool) []ObjectID {
-	var ids []ObjectID
-	if p, ok := li.inner.(parallelIndex); ok {
-		ids = p.QueryP(q, pool)
-	} else {
-		ids = li.inner.Query(q)
-	}
-	if len(li.deleted) == 0 {
-		return ids
-	}
-	w := 0
-	for _, id := range ids {
-		if !li.deleted[id] {
-			ids[w] = id
-			w++
-		}
-	}
-	return ids[:w]
-}
+// atomicPool holds the engine's replaceable worker pool.
+type atomicPool = atomic.Pointer[exec.Pool]
 
 // defaultPool serves engines that never called SetParallelism; sized to
 // GOMAXPROCS and shared, so the process-wide query concurrency stays
@@ -66,38 +41,39 @@ var defaultPool = exec.NewPool(0)
 // fan-out and intra-query fan-out; in-flight batches keep the pool they
 // started with.
 func (e *Engine) SetParallelism(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.pool = exec.NewPool(n)
+	e.pool.Store(exec.NewPool(n))
 }
 
-// executor returns the engine's pool. Callers must hold e.mu.
-//
-// irlint:locked mu
+// executor returns the engine's pool (the shared default unless
+// SetParallelism installed one).
 func (e *Engine) executor() *exec.Pool {
-	assertEngineLocked(&e.mu, "Engine.executor")
-	if e.pool != nil {
-		return e.pool
+	if p := e.pool.Load(); p != nil {
+		return p
 	}
 	return defaultPool
+}
+
+// runQuery evaluates one query against a generation snapshot with
+// intra-query fan-out, returning externally-translated ids in ascending
+// order.
+func runQuery(g *maint.Generation, q Query, pool *exec.Pool) []ObjectID {
+	ids := g.QueryP(q, pool)
+	SortIDs(ids)
+	return g.External(ids)
 }
 
 // SearchBatch evaluates many element-id queries concurrently over the
 // engine's pool, with intra-query fan-out for the HINT-backed methods.
 // results[i] corresponds to queries[i]; ids are in ascending order, so a
-// batch result is byte-identical to running Query serially. The read
-// lock is held once for the whole batch: mutations wait for the batch,
-// and the batch sees one consistent snapshot.
+// batch result is byte-identical to running Query serially. The whole
+// batch runs against one generation snapshot: mutations landing
+// mid-batch are invisible to it, and the batch never blocks them.
 func (e *Engine) SearchBatch(queries []Query) []Result {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	li := e.live()
+	g := e.snapshot()
 	pool := e.executor()
 	results := make([]Result, len(queries))
 	pool.Map(len(queries), func(i int) {
-		ids := li.queryP(queries[i], pool)
-		SortIDs(ids)
-		results[i] = Result{IDs: ids}
+		results[i] = Result{IDs: runQuery(g, queries[i], pool)}
 	})
 	return results
 }
@@ -106,17 +82,13 @@ func (e *Engine) SearchBatch(queries []Query) []Result {
 // not yet started when ctx fires are marked with Err = ctx.Err() and nil
 // IDs; queries already running complete normally.
 func (e *Engine) SearchBatchCtx(ctx context.Context, queries []Query) []Result {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	li := e.live()
+	g := e.snapshot()
 	pool := e.executor()
 	results := make([]Result, len(queries))
 	started := make([]bool, len(queries))
 	_ = pool.MapCtx(ctx, len(queries), func(i int) {
 		started[i] = true
-		ids := li.queryP(queries[i], pool)
-		SortIDs(ids)
-		results[i] = Result{IDs: ids}
+		results[i] = Result{IDs: runQuery(g, queries[i], pool)}
 	})
 	if err := ctx.Err(); err != nil {
 		for i := range results {
@@ -130,9 +102,9 @@ func (e *Engine) SearchBatchCtx(ctx context.Context, queries []Query) []Result {
 
 // SearchCtx is Search with cancellation and timeout support: it returns
 // ctx.Err() as soon as ctx fires, even mid-query. The underlying index
-// scan cannot be interrupted, so an abandoned query finishes (and
-// releases the read lock) in the background; the bound on such strays is
-// the caller's concurrency, which the HTTP server caps via MaxInFlight.
+// scan cannot be interrupted, so an abandoned query finishes in the
+// background; the bound on such strays is the caller's concurrency,
+// which the HTTP server caps via MaxInFlight.
 func (e *Engine) SearchCtx(ctx context.Context, start, end Timestamp, terms ...string) ([]ObjectID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -159,16 +131,15 @@ func (e *Engine) SearchTermsBatch(start, end Timestamp, termRows [][]string) []R
 // following the SearchBatchCtx row contract: rows not started when ctx
 // fires carry Err = ctx.Err() and nil IDs.
 func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, termRows [][]string) []Result {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	iv := model.Canon(start, end)
 	queries := make([]Query, len(termRows))
 	known := make([]bool, len(termRows))
+	e.dmu.RLock()
 	for i, terms := range termRows {
 		elems := make([]ElemID, 0, len(terms))
 		ok := true
 		for _, t := range terms {
-			id, found := e.dict.Lookup(t)
+			id, found := e.lookupLocked(t)
 			if !found {
 				ok = false
 				break
@@ -178,7 +149,9 @@ func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, 
 		known[i] = ok
 		queries[i] = Query{Interval: iv, Elems: model.NormalizeElems(elems)}
 	}
-	li := e.live()
+	e.dmu.RUnlock()
+
+	g := e.snapshot()
 	pool := e.executor()
 	results := make([]Result, len(queries))
 	started := make([]bool, len(queries))
@@ -187,9 +160,7 @@ func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, 
 		if !known[i] {
 			return
 		}
-		ids := li.queryP(queries[i], pool)
-		SortIDs(ids)
-		results[i] = Result{IDs: ids}
+		results[i] = Result{IDs: runQuery(g, queries[i], pool)}
 	})
 	if err := ctx.Err(); err != nil {
 		for i := range results {

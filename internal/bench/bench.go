@@ -73,6 +73,7 @@ func Experiments() []Experiment {
 		{"ablation", "Ablations: m tuning, traversal order, de-dup, compression", RunAblations},
 		{"verify", "Verification: result equivalence of every index vs brute force", RunVerify},
 		{"perfjson", "Deterministic per-method perf snapshot written as JSON", RunPerfJSON},
+		{"tombstone", "Tombstone load: query latency vs deleted fraction, before/after compaction", RunTombstone},
 	}
 }
 

@@ -27,8 +27,8 @@ func TestConfigNormalize(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(exps))
 	}
 	for _, e := range exps {
 		if e.Run == nil || e.Name == "" || e.Title == "" {
@@ -180,6 +180,29 @@ func TestExperimentSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTombstoneSmoke runs the tombstone-load driver at tiny scale; a
+// WARNING line means a checksum diverged across methods or across the
+// 50%-deleted/compacted states, which is a correctness failure, not a
+// perf blip.
+func TestTombstoneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	RunTombstone(cfg)
+	out := buf.String()
+	for _, w := range []string{"Tombstone load", "compacted", "reclaimed"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, firstLines(out, 30))
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("checksum divergence:\n%s", out)
 	}
 }
 

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	temporalir "repro"
+	"repro/internal/model"
+	"repro/internal/testutil"
+)
+
+// The tombstone-load experiment measures what the generational write path
+// buys: query latency as deletions accumulate as tombstones (every query
+// pays a filter pass over a growing dead set), then again after Compact
+// physically drops the dead objects and rebuilds the index. The paper's
+// Table 7 times the deletes themselves; this experiment times the
+// *queries* the deletes leave behind, which is the cost model the
+// compaction policy (maint.Policy.MaxDeadRatio) trades against.
+
+// tombstoneFractions are the measured deleted fractions, in order.
+var tombstoneFractions = []float64{0, 0.25, 0.50}
+
+// TombstoneStage is one measurement point of the tombstone experiment:
+// a deleted fraction (or the post-compaction state) for one method.
+type TombstoneStage struct {
+	Stage              string  `json:"stage"` // "0%", "25%", "50%", "compacted"
+	DeletedFrac        float64 `json:"deleted_frac"`
+	LiveObjects        int     `json:"live_objects"`
+	Tombstones         int     `json:"tombstones"`
+	SizeBytes          int64   `json:"size_bytes"`
+	BatchMicrosMean    float64 `json:"batch_query_micros_mean"`
+	BatchQueriesPerSec float64 `json:"batch_queries_per_sec"`
+	ResultRows         int     `json:"result_rows"`
+	// Checksum hashes the per-query result sets. It must be identical
+	// across methods within a stage, and the "50%" and "compacted"
+	// checksums must match exactly: compaction may never change results.
+	Checksum string `json:"checksum"`
+}
+
+// TombstoneMethod is the per-method series plus its compaction cost.
+type TombstoneMethod struct {
+	Method         string           `json:"method"`
+	Label          string           `json:"label"`
+	Stages         []TombstoneStage `json:"stages"`
+	CompactSeconds float64          `json:"compact_seconds"`
+	CompactDropped int              `json:"compact_dropped"`
+	ReclaimedFrac  float64          `json:"reclaimed_frac"` // 1 - size@compacted/size@50%
+}
+
+// TombstoneReport is the BENCH_pr4.json schema.
+type TombstoneReport struct {
+	Scale      float64           `json:"scale"`
+	NumQueries int               `json:"num_queries"`
+	Seed       int64             `json:"seed"`
+	Objects    int               `json:"objects"`
+	Methods    []TombstoneMethod `json:"methods"`
+}
+
+// engineBatchThroughput is Throughput for the engine's SearchBatch path,
+// repeating the batch until at least minDuration elapsed.
+func engineBatchThroughput(e *temporalir.Engine, queries []model.Query) float64 {
+	const minDuration = 20 * time.Millisecond
+	if len(queries) == 0 {
+		return 0
+	}
+	ran := 0
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		_ = e.SearchBatch(queries)
+		ran += len(queries)
+	}
+	return float64(ran) / time.Since(start).Seconds()
+}
+
+// measureTombstoneStage runs the workload once for the checksum and then
+// times it, filling everything but the stage label and deleted fraction.
+func measureTombstoneStage(e *temporalir.Engine, queries []model.Query) TombstoneStage {
+	results := make([][]model.ObjectID, len(queries))
+	rows := 0
+	for i, r := range e.SearchBatch(queries) {
+		results[i] = r.IDs
+		rows += len(r.IDs)
+	}
+	st := e.CompactStats()
+	qps := engineBatchThroughput(e, queries)
+	micros := 0.0
+	if qps > 0 {
+		micros = 1e6 / qps
+	}
+	return TombstoneStage{
+		LiveObjects:        e.Len(),
+		Tombstones:         st.Tombstones,
+		SizeBytes:          e.SizeBytes(),
+		BatchMicrosMean:    micros,
+		BatchQueriesPerSec: qps,
+		ResultRows:         rows,
+		Checksum:           testutil.WorkloadChecksum(results),
+	}
+}
+
+// RunTombstone measures batch query latency at 0%, 25% and 50% of the
+// corpus deleted (tombstones filtered on every query), then compacts and
+// measures again: the rebuilt index must return byte-identical results
+// (checksum@50% == checksum@compacted) while reclaiming the dead space.
+// The workload and the deleted-id pattern are deterministic, so the JSON
+// artifact is comparable run to run; when cfg.JSONPath is set the report
+// is written there (BENCH_pr4.json and successors).
+func RunTombstone(cfg Config) {
+	cfg = cfg.Normalize()
+	coll := syntheticDefault(cfg, nil)
+	queries := defaultWorkload(coll, cfg)
+	report := TombstoneReport{
+		Scale:      cfg.Scale,
+		NumQueries: len(queries),
+		Seed:       cfg.Seed,
+		Objects:    coll.Len(),
+	}
+
+	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
+	tbl := &Table{
+		Title:  "Tombstone load: batch query latency [us] vs deleted fraction, then compacted",
+		Header: []string{"method", "0%", "25%", "50%", "compacted", "compact s", "size@50% MB", "size@compact MB", "reclaimed"},
+	}
+	// Checksums must agree across methods within each stage; remember the
+	// first method's as the reference.
+	reference := map[string]string{}
+	for _, m := range methods {
+		e, err := temporalir.EngineFromCollection(coll, m, temporalir.Options{})
+		if err != nil {
+			panic(err) // lint:panic-ok registry methods cannot fail
+		}
+		tm := TombstoneMethod{Method: string(m), Label: shortName(m)}
+		for _, frac := range tombstoneFractions {
+			// Evenly spread deletions: every 4th id reaches 25%, the
+			// remaining even ids top it up to 50% (all even ids dead).
+			var first, stride int
+			switch frac {
+			case 0.25:
+				first, stride = 0, 4
+			case 0.50:
+				first, stride = 2, 4
+			default:
+				first, stride = 0, 0
+			}
+			for id := first; stride > 0 && id < coll.Len(); id += stride {
+				if err := e.Delete(temporalir.ObjectID(id)); err != nil {
+					panic(err) // lint:panic-ok ids 0..n-1 are live by construction
+				}
+			}
+			st := measureTombstoneStage(e, queries)
+			st.Stage = fmt.Sprintf("%g%%", frac*100)
+			st.DeletedFrac = frac
+			tm.Stages = append(tm.Stages, st)
+		}
+
+		sizeBefore := e.SizeBytes()
+		start := time.Now()
+		cs, err := e.Compact(context.Background())
+		if err != nil {
+			panic(err) // lint:panic-ok foreground compact of an idle engine cannot fail
+		}
+		tm.CompactSeconds = time.Since(start).Seconds()
+		tm.CompactDropped = cs.LastDropped
+
+		st := measureTombstoneStage(e, queries)
+		st.Stage = "compacted"
+		st.DeletedFrac = 0.50
+		tm.Stages = append(tm.Stages, st)
+		if sizeBefore > 0 {
+			tm.ReclaimedFrac = 1 - float64(st.SizeBytes)/float64(sizeBefore)
+		}
+
+		if at50 := tm.Stages[len(tm.Stages)-2]; at50.Checksum != st.Checksum {
+			fmt.Fprintf(cfg.Out, "tombstone: WARNING %s: compacted checksum %s != 50%% checksum %s\n",
+				m, st.Checksum, at50.Checksum)
+		}
+		for _, s := range tm.Stages {
+			if ref, ok := reference[s.Stage]; !ok {
+				reference[s.Stage] = s.Checksum
+			} else if ref != s.Checksum {
+				fmt.Fprintf(cfg.Out, "tombstone: WARNING %s stage %s: checksum %s != reference %s\n",
+					m, s.Stage, s.Checksum, ref)
+			}
+		}
+
+		tbl.Add(shortName(m),
+			f1(tm.Stages[0].BatchMicrosMean), f1(tm.Stages[1].BatchMicrosMean),
+			f1(tm.Stages[2].BatchMicrosMean), f1(tm.Stages[3].BatchMicrosMean),
+			f2(tm.CompactSeconds),
+			f2(float64(sizeBefore)/(1<<20)), f2(float64(st.SizeBytes)/(1<<20)),
+			fmt.Sprintf("%.0f%%", tm.ReclaimedFrac*100))
+		report.Methods = append(report.Methods, tm)
+	}
+	tbl.Fprint(cfg.Out)
+
+	if cfg.JSONPath == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "tombstone: marshal: %v\n", err)
+		return
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(cfg.JSONPath, blob, 0o644); err != nil {
+		fmt.Fprintf(cfg.Out, "tombstone: write %s: %v\n", cfg.JSONPath, err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s\n", cfg.JSONPath)
+}

@@ -100,6 +100,22 @@ func (d *Dictionary) grow(n int) {
 	}
 }
 
+// Clone returns a deep copy of the dictionary: further mutations of
+// either copy are invisible to the other. Builders use it to detach the
+// dictionary they hand to an Engine from their own accumulating state.
+func (d *Dictionary) Clone() *Dictionary {
+	c := &Dictionary{
+		terms:  append([]string(nil), d.terms...),
+		byTerm: make(map[string]model.ElemID, len(d.byTerm)),
+		freqs:  append([]int(nil), d.freqs...),
+		total:  d.total,
+	}
+	for t, id := range d.byTerm {
+		c.byTerm[t] = id
+	}
+	return c
+}
+
 // TermsSnapshot returns a copy of all terms in id order, for
 // serialization.
 func (d *Dictionary) TermsSnapshot() []string {

@@ -1,0 +1,23 @@
+package maint
+
+import "repro/internal/model"
+
+// Memtable is the mutable side of the generational split, frozen into a
+// snapshot: the objects inserted since the last compaction, in internal
+// id order. It is a brute-force index — queries scan it linearly — which
+// is the right trade for a structure that must absorb appends in O(1)
+// and stays small because compaction regularly drains it.
+//
+// A Memtable value is immutable: the store publishes a fresh view (a
+// longer prefix of the same backing array) with every append, so readers
+// holding an older generation never observe new entries.
+type Memtable struct {
+	objs  []model.Object
+	bytes int64
+}
+
+// Len returns the number of objects in the snapshot.
+func (m Memtable) Len() int { return len(m.objs) }
+
+// SizeBytes estimates the memtable's resident size.
+func (m Memtable) SizeBytes() int64 { return m.bytes }

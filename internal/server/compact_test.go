@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	temporalir "repro"
+)
+
+// postJSON posts a body (may be empty) and decodes the JSON response.
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return out
+}
+
+func TestAdminCompact(t *testing.T) {
+	b := temporalir.NewBuilder()
+	for i := 0; i < 20; i++ {
+		b.Add(temporalir.Timestamp(i*10), temporalir.Timestamp(i*10+50), "alpha", fmt.Sprintf("term%d", i%4))
+	}
+	engine, err := b.Build(temporalir.IRHintPerf, temporalir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine))
+	t.Cleanup(ts.Close)
+
+	// Seed some churn through the HTTP surface.
+	for i := 0; i < 4; i++ {
+		postJSON(t, ts.URL+"/objects", fmt.Sprintf(`{"start":%d,"end":%d,"terms":["alpha fresh"]}`, i, i+30), http.StatusCreated)
+	}
+	for id := 0; id < 6; id++ {
+		req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/objects/%d", ts.URL, id), nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %d: status %d", id, resp.StatusCode)
+		}
+	}
+
+	// Stats now expose the generational state.
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	comp, ok := stats["compaction"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats payload missing compaction: %v", stats)
+	}
+	if comp["tombstones"].(float64) != 6 || comp["memtable_objects"].(float64) != 4 {
+		t.Fatalf("pre-compact stats: %v", comp)
+	}
+
+	// Compact and verify the state is drained.
+	out := postJSON(t, ts.URL+"/admin/compact", "", http.StatusOK)
+	comp = out["compaction"].(map[string]any)
+	if comp["tombstones"].(float64) != 0 || comp["memtable_objects"].(float64) != 0 {
+		t.Fatalf("post-compact stats not drained: %v", comp)
+	}
+	if comp["compactions"].(float64) != 1 {
+		t.Fatalf("compactions = %v, want 1", comp["compactions"])
+	}
+	if comp["last_dropped"].(float64) != 6 || comp["last_merged"].(float64) != 4 {
+		t.Fatalf("last_dropped/last_merged = %v/%v, want 6/4", comp["last_dropped"], comp["last_merged"])
+	}
+
+	// Deleted objects stay gone; the engine still serves searches.
+	getJSON(t, ts.URL+"/objects/0", http.StatusNotFound)
+	res := getJSON(t, ts.URL+"/search?start=0&end=1000&q=alpha", http.StatusOK)
+	if res["count"].(float64) != 20-6+4 {
+		t.Fatalf("post-compact search count = %v, want 18", res["count"])
+	}
+}
+
+func TestAdminCompactConflict(t *testing.T) {
+	b := temporalir.NewBuilder()
+	b.Add(0, 10, "alpha")
+	engine, err := b.Build(temporalir.TIF, temporalir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine))
+	t.Cleanup(ts.Close)
+
+	// A no-op compaction (nothing to merge) still answers 200.
+	out := postJSON(t, ts.URL+"/admin/compact", "", http.StatusOK)
+	if _, ok := out["compaction"]; !ok {
+		t.Fatalf("missing compaction stats: %v", out)
+	}
+}

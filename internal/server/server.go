@@ -1,8 +1,10 @@
 // Package server exposes a temporalir Engine over HTTP/JSON — the
 // "search interface to multiple users simultaneously" deployment the
 // paper's throughput metric models (public archives, footnote 11).
-// Reads run concurrently against the index; updates serialize behind a
-// single writer lock, matching the library's concurrency contract.
+// Reads run concurrently against immutable generation snapshots and
+// never wait on writers; POST /admin/compact (or the engine's
+// auto-compaction policy) folds accumulated inserts and deletes into a
+// freshly rebuilt index off the read path.
 package server
 
 import (
@@ -77,6 +79,7 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
 	return s
 }
 
@@ -369,7 +372,8 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"buckets": tl})
 }
 
-// handleStats answers GET /stats.
+// handleStats answers GET /stats, including the generational compaction
+// state (epoch, memtable, tombstones, compaction history).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -377,7 +381,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"method":     string(s.engine.Method()),
 		"objects":    s.engine.Len(),
 		"size_bytes": s.engine.SizeBytes(),
+		"compaction": s.engine.CompactStats(),
 	})
+}
+
+// handleCompact answers POST /admin/compact: it runs a synchronous
+// compaction and returns the resulting stats. A compaction already in
+// flight answers 409 with the current stats; the request context bounds
+// the rebuild (a canceled request leaves the old generation intact).
+// Searches keep running against the previous generation throughout, so
+// the endpoint never degrades read availability.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	eng := s.engine
+	s.mu.RUnlock()
+	st, err := eng.Compact(r.Context())
+	switch {
+	case errors.Is(err, temporalir.ErrCompactionRunning):
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":      "compaction already in progress",
+			"compaction": st,
+		})
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "compaction failed: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"compaction": st})
+	}
 }
 
 func parseTS(raw string) (temporalir.Timestamp, error) {

@@ -1,0 +1,66 @@
+package testutil
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// LifecycleOracle mirrors an engine's visible state across
+// insert/delete/compact workloads, keyed by the engine's stable external
+// ids. Unlike the bruteforce index (which is positional), the oracle
+// survives physical compaction on the engine side: external ids never
+// move, so its answers stay comparable across generations.
+type LifecycleOracle struct {
+	objs map[model.ObjectID]model.Object
+}
+
+// NewLifecycleOracle seeds the oracle with a collection whose dense ids
+// become the first external ids (the EngineFromCollection convention).
+func NewLifecycleOracle(c *model.Collection) *LifecycleOracle {
+	o := &LifecycleOracle{objs: make(map[model.ObjectID]model.Object, len(c.Objects))}
+	for i := range c.Objects {
+		obj := c.Objects[i]
+		o.objs[obj.ID] = obj
+	}
+	return o
+}
+
+// Insert records a new object under the engine-assigned external id.
+func (o *LifecycleOracle) Insert(id model.ObjectID, iv model.Interval, elems []model.ElemID) {
+	o.objs[id] = model.Object{ID: id, Interval: iv, Elems: model.NormalizeElems(elems)}
+}
+
+// Delete removes an object; it reports whether the id was present.
+func (o *LifecycleOracle) Delete(id model.ObjectID) bool {
+	if _, ok := o.objs[id]; !ok {
+		return false
+	}
+	delete(o.objs, id)
+	return true
+}
+
+// Len returns the number of live objects.
+func (o *LifecycleOracle) Len() int { return len(o.objs) }
+
+// Query scans all live objects and returns matching external ids in
+// ascending order — the reference answer for any engine state.
+func (o *LifecycleOracle) Query(q model.Query) []model.ObjectID {
+	var ids []model.ObjectID
+	for id, obj := range o.objs { // lint:map-order-ok sorted below
+		if q.Matches(&obj) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// QueryAll evaluates a whole query set, for WorkloadChecksum comparison.
+func (o *LifecycleOracle) QueryAll(queries []model.Query) [][]model.ObjectID {
+	out := make([][]model.ObjectID, len(queries))
+	for i, q := range queries {
+		out[i] = o.Query(q)
+	}
+	return out
+}

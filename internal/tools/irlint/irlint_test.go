@@ -666,6 +666,100 @@ type Broken struct {
 			contains: []string{"no sync.Mutex"},
 		},
 		{
+			name:     "snapshot-via field read outside accessor flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync/atomic"
+
+type Gen struct{ n int }
+
+type Store struct {
+	// irlint:snapshot-via Snapshot,publish
+	gen atomic.Pointer[Gen]
+}
+
+func (s *Store) Snapshot() *Gen  { return s.gen.Load() }
+func (s *Store) publish(g *Gen)  { s.gen.Store(g) }
+func (s *Store) Sneaky() *Gen    { return s.gen.Load() }
+`,
+			want:     1,
+			contains: []string{"Store.gen", "snapshot-via", "Snapshot"},
+		},
+		{
+			name:     "snapshot-via field reached through a variable flagged",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync/atomic"
+
+type Gen struct{ n int }
+
+type Store struct {
+	// irlint:snapshot-via Snapshot,publish
+	gen atomic.Pointer[Gen]
+}
+
+func (s *Store) Snapshot() *Gen { return s.gen.Load() }
+func (s *Store) publish(g *Gen) { s.gen.Store(g) }
+
+func drain(s *Store) { s.gen.Store(nil) }
+`,
+			want:     1,
+			contains: []string{"Store.gen", "outside its accessor"},
+		},
+		{
+			name:     "snapshot-via accessors and routed callers conform",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync/atomic"
+
+type Gen struct{ n int }
+
+type Store struct {
+	// irlint:snapshot-via Snapshot,publish
+	gen atomic.Pointer[Gen]
+}
+
+func (s *Store) Snapshot() *Gen { return s.gen.Load() }
+func (s *Store) publish(g *Gen) { s.gen.Store(g) }
+
+func (s *Store) Len() int { return s.Snapshot().n }
+
+func swap(s *Store, g *Gen) { s.publish(g) }
+`,
+			want: 0,
+		},
+		{
+			name:     "snapshot-via escape hatch honored",
+			analyzer: "lock-guard",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "sync/atomic"
+
+type Gen struct{ n int }
+
+type Store struct {
+	// irlint:snapshot-via Snapshot,publish
+	gen atomic.Pointer[Gen]
+}
+
+func (s *Store) Snapshot() *Gen { return s.gen.Load() }
+func (s *Store) publish(g *Gen) { s.gen.Store(g) }
+
+func (s *Store) debugPeek() *Gen {
+	// lint:guard-ok test-only introspection, no publication
+	return s.gen.Load()
+}
+`,
+			want: 0,
+		},
+		{
 			name:     "aliased list mutations flagged",
 			analyzer: "alias-mutation",
 			path:     ModulePath + "/internal/fix",

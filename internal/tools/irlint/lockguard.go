@@ -21,6 +21,16 @@ const lockedMarker = "irlint:locked"
 // before any concurrency exists).
 const guardDirective = "lint:guard-ok"
 
+// snapshotViaMarker annotates an atomically swapped field (the
+// atomic-generation pattern) with its sanctioned accessor methods:
+// // irlint:snapshot-via Snapshot,publish
+// Every other touch of the field — any method, any function, reads and
+// writes alike — is flagged: the pattern's whole safety argument is that
+// loads and stores are funneled through the named accessors, so a stray
+// s.gen.Load() elsewhere silently bypasses validation hooks and makes
+// the access pattern unauditable.
+const snapshotViaMarker = "irlint:snapshot-via"
+
 // guardSpec is the annotation set of one struct: guarded field name ->
 // guarding mutex field name.
 type guardSpec struct {
@@ -64,9 +74,6 @@ func AnalyzerLockGuard() *Analyzer {
 				return nil
 			}
 			specs, diags := p.collectGuardSpecs()
-			if len(specs) == 0 {
-				return diags
-			}
 			for _, f := range p.Files {
 				for _, decl := range f.Decls {
 					fn, ok := decl.(*ast.FuncDecl)
@@ -80,6 +87,7 @@ func AnalyzerLockGuard() *Analyzer {
 					diags = append(diags, p.lockGuardMethod(f, fn, spec)...)
 				}
 			}
+			diags = append(diags, p.snapshotViaChecks()...)
 			return diags
 		},
 	}
@@ -342,6 +350,134 @@ func (p *Package) mutexCall(e ast.Expr, spec *guardSpec, isRecv func(ast.Expr) b
 		return lockEvent{}, false
 	}
 	return lockEvent{pos: call.Pos(), mu: field.Sel.Name, kind: method.Sel.Name}, true
+}
+
+// snapshotSpec records the irlint:snapshot-via annotations of one
+// struct: swapped field name -> the set of methods allowed to touch it.
+type snapshotSpec struct {
+	obj    *types.TypeName
+	fields map[string]map[string]bool
+}
+
+// collectSnapshotSpecs gathers irlint:snapshot-via annotations.
+func (p *Package) collectSnapshotSpecs() map[*types.TypeName]*snapshotSpec {
+	specs := make(map[*types.TypeName]*snapshotSpec)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					arg := fieldMarkerArg(field, snapshotViaMarker)
+					if arg == "" {
+						continue
+					}
+					allowed := map[string]bool{}
+					for _, m := range strings.Split(arg, ",") {
+						if m = strings.TrimSpace(m); m != "" {
+							allowed[m] = true
+						}
+					}
+					spec := specs[tn]
+					if spec == nil {
+						spec = &snapshotSpec{obj: tn, fields: map[string]map[string]bool{}}
+						specs[tn] = spec
+					}
+					for _, id := range field.Names {
+						spec.fields[id.Name] = allowed
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// snapshotViaChecks flags every access to an irlint:snapshot-via field
+// outside its sanctioned accessor methods. Unlike the guarded-by check
+// it is not receiver-scoped: the field may be reached through any value
+// of the struct type, from any function in the package, so the check
+// resolves the selector's base type instead of the enclosing receiver.
+func (p *Package) snapshotViaChecks() []Diagnostic {
+	specs := p.collectSnapshotSpecs()
+	if len(specs) == 0 {
+		return nil
+	}
+	specFor := func(t types.Type) *snapshotSpec {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		return specs[named.Obj()]
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Accessor methods of an annotated struct get free rein over
+			// the fields that list them.
+			var recvSpec *snapshotSpec
+			if fn.Recv != nil {
+				if tv, ok := p.Info.Types[fn.Recv.List[0].Type]; ok && tv.Type != nil {
+					recvSpec = specFor(tv.Type)
+				}
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[sel.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				spec := specFor(tv.Type)
+				if spec == nil {
+					return true
+				}
+				allowed, swapped := spec.fields[sel.Sel.Name]
+				if !swapped {
+					return true
+				}
+				if spec == recvSpec && allowed[fn.Name.Name] {
+					return true
+				}
+				if p.allowed(f, sel.Pos(), guardDirective) {
+					return true
+				}
+				names := make([]string, 0, len(allowed))
+				for m := range allowed {
+					names = append(names, m)
+				}
+				sort.Strings(names)
+				diags = append(diags, p.diag("lock-guard", sel.Pos(),
+					"access of %s.%s (snapshot-via %s) outside its accessor methods; route through %s or annotate the site // %s <reason>",
+					spec.obj.Name(), sel.Sel.Name, strings.Join(names, ","), strings.Join(names, "/"), guardDirective))
+				return true
+			})
+		}
+	}
+	return diags
 }
 
 // unparen strips parentheses.

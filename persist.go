@@ -9,13 +9,12 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/encoding"
-	"repro/internal/model"
 )
 
 // Engine persistence: a dictionary section followed by the compact
 // collection encoding of internal/encoding. Logical deletions are folded
-// in at save time (dead objects are not written), and object ids are
-// re-assigned densely on load — persist any external id mapping
+// in at save time (tombstoned objects are not written), and object ids
+// are re-assigned densely on load — persist any external id mapping
 // separately if object identity must survive a round trip.
 
 var engineMagic = [4]byte{'T', 'I', 'R', 'E'}
@@ -24,14 +23,18 @@ const engineVersion = 1
 
 // Save writes the engine's live objects and dictionary. The index itself
 // is not serialized — it is rebuilt on load, which is both simpler and,
-// for every method in the family, fast relative to I/O.
+// for every method in the family, fast relative to I/O. The snapshot is
+// consistent: it serializes one generation (base objects, memtable and
+// tombstones as of a single atomic load), so concurrent inserts, deletes
+// and compactions never tear it.
 func (e *Engine) Save(w io.Writer) error {
-	// Snapshot under the read lock: without it a concurrent Insert or
-	// Delete can grow e.coll.Objects or mutate e.deleted mid-encode and
-	// corrupt the snapshot (a real race — Save used to skip the lock
-	// because it sits on a cold path).
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	g := e.snapshot()
+	// The dictionary only grows and every element id in g was interned
+	// before g was published, so a snapshot taken now covers g's objects.
+	e.dmu.RLock()
+	terms := e.dict.TermsSnapshot()
+	e.dmu.RUnlock()
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(engineMagic[:]); err != nil {
 		return err
@@ -39,7 +42,6 @@ func (e *Engine) Save(w io.Writer) error {
 	if err := bw.WriteByte(engineVersion); err != nil {
 		return err
 	}
-	terms := e.dict.TermsSnapshot()
 	var buf [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf[:], v)
@@ -57,12 +59,13 @@ func (e *Engine) Save(w io.Writer) error {
 			return err
 		}
 	}
-	live := &Collection{DictSize: e.coll.DictSize}
-	for i := range e.coll.Objects {
-		o := &e.coll.Objects[i]
-		if e.deleted[o.ID] {
+	coll := g.Coll()
+	live := &Collection{DictSize: coll.DictSize}
+	for i := range coll.Objects {
+		if g.Tombstoned(ObjectID(i)) {
 			continue
 		}
+		o := &coll.Objects[i]
 		live.Objects = append(live.Objects, Object{
 			ID:       ObjectID(len(live.Objects)),
 			Interval: o.Interval,
@@ -125,9 +128,5 @@ func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
 	for i := range coll.Objects {
 		d.AddElems(coll.Objects[i].Elems)
 	}
-	ix, err := NewIndex(m, coll, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{dict: d, coll: coll, index: ix, method: m, deleted: map[model.ObjectID]bool{}}, nil
+	return newEngine(d, coll, m, opts)
 }
