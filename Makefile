@@ -25,11 +25,13 @@ invariants:
 	$(GO) test -tags invariants . ./internal/domain ./internal/postings ./internal/hint ./internal/maint
 
 # Deterministic perf snapshots: fixed seed and workload, written as JSON
-# for the perf trajectory (per-method latency/size, then the tombstone-load
-# before/after-compaction series).
+# for the perf trajectory (per-method latency/size, the tombstone-load
+# before/after-compaction series, then the observability overhead +
+# per-stage breakdown).
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
+	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr5.json
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

@@ -9,6 +9,12 @@
 //	GET    /objects/{id}
 //	DELETE /objects/{id}
 //	GET    /stats
+//	GET    /metrics            Prometheus text exposition
+//	GET    /debug/slow         slow-query log (JSON)
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/;
+// -slow-threshold tunes the slow-query log and -no-trace disables
+// per-query span recording (metrics stay on).
 //
 // Datasets loaded from .tirc files carry element ids, not strings; their
 // terms surface as "e<ID>" placeholders. For a string-term corpus, start
@@ -19,19 +25,25 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	temporalir "repro"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		data  = flag.String("data", "", "optional .tirc dataset to preload")
-		index = flag.String("index", string(temporalir.IRHintPerf), "index method")
-		addr  = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "optional .tirc dataset to preload")
+		index     = flag.String("index", string(temporalir.IRHintPerf), "index method")
+		addr      = flag.String("addr", ":8080", "listen address")
+		slowThr   = flag.Duration("slow-threshold", obs.DefaultSlowThreshold, "slow-query log threshold (negative captures every query)")
+		slowCap   = flag.Int("slow-capacity", obs.DefaultSlowCapacity, "slow-query log ring size")
+		noTrace   = flag.Bool("no-trace", false, "disable per-query trace spans (metrics stay enabled)")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -67,9 +79,25 @@ func main() {
 	fmt.Printf("irserve: %d objects, %s built in %.2fs, listening on %s\n",
 		engine.Len(), *index, time.Since(start).Seconds(), *addr)
 
+	observer := obs.NewObserver(obs.Config{
+		SlowThreshold:  *slowThr,
+		SlowCapacity:   *slowCap,
+		DisableTracing: *noTrace,
+	})
+	handler := http.Handler(server.NewWithOptions(engine, server.Options{Obs: observer}))
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if err := srv.ListenAndServe(); err != nil {

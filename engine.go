@@ -9,6 +9,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/maint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rank"
 )
 
@@ -134,6 +135,13 @@ func (e *Engine) resolveTerms(terms []string) ([]ElemID, bool) {
 	return elems, true
 }
 
+// resolveTermsTraced is resolveTerms under a plan span: term resolution
+// is the planning step of the string search surface.
+func (e *Engine) resolveTermsTraced(tr *obs.Trace, terms []string) ([]ElemID, bool) {
+	defer tr.StartStage(obs.StagePlan).End()
+	return e.resolveTerms(terms)
+}
+
 // Method returns the index implementation in use.
 func (e *Engine) Method() Method { return e.method }
 
@@ -174,7 +182,13 @@ func (e *Engine) SetCompactionPolicy(p CompactionPolicy) { e.store.SetPolicy(p) 
 // empty (the conjunction cannot be satisfied). Results are in ascending
 // id order.
 func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
-	elems, ok := e.resolveTerms(terms)
+	return e.searchTraced(nil, start, end, terms)
+}
+
+// searchTraced is the Search body with an optional trace recorder
+// threaded through every stage (nil = disabled).
+func (e *Engine) searchTraced(tr *obs.Trace, start, end Timestamp, terms []string) []ObjectID {
+	elems, ok := e.resolveTermsTraced(tr, terms)
 	if !ok {
 		return nil
 	}
@@ -182,7 +196,17 @@ func (e *Engine) Search(start, end Timestamp, terms ...string) []ObjectID {
 	ids := g.Query(Query{
 		Interval: model.Canon(start, end),
 		Elems:    model.NormalizeElems(elems),
+		Trace:    tr,
 	})
+	out := finishIDs(g, ids, tr)
+	tr.AddResults(len(out))
+	return out
+}
+
+// finishIDs orders the internal result ids and translates them to
+// external ids, under one sort span.
+func finishIDs(g *maint.Generation, ids []model.ObjectID, tr *obs.Trace) []ObjectID {
+	defer tr.StartStage(obs.StageSort).End()
 	SortIDs(ids)
 	return g.External(ids)
 }
@@ -265,18 +289,33 @@ type ScoredResult struct {
 // collection at the first ranked search; call RefreshScorer after bulk
 // updates to re-weigh.
 func (e *Engine) SearchTopK(start, end Timestamp, k int, terms ...string) []ScoredResult {
+	return e.searchTopKTraced(nil, start, end, k, terms)
+}
+
+// searchTopKTraced is the SearchTopK body with an optional trace
+// recorder (nil = disabled).
+func (e *Engine) searchTopKTraced(tr *obs.Trace, start, end Timestamp, k int, terms []string) []ScoredResult {
 	g := e.ensureScorer()
-	elems, ok := e.resolveTerms(terms)
+	elems, ok := e.resolveTermsTraced(tr, terms)
 	if !ok {
 		return nil
 	}
-	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
-	results := rank.TopK(g, g.Coll(), g.Scorer(), q, k)
+	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems), Trace: tr}
+	results := rankTopK(g, q, k, tr)
 	out := make([]ScoredResult, len(results))
 	for i, r := range results {
 		out[i] = ScoredResult{ID: g.ExternalID(r.ID), Score: r.Score}
 	}
+	tr.AddResults(len(out))
 	return out
+}
+
+// rankTopK scores and selects under a rank span. The span envelopes the
+// ranked path's inner containment query, so it overlaps the
+// postings/intersect/filter spans that query records.
+func rankTopK(g *maint.Generation, q Query, k int, tr *obs.Trace) []rank.Result {
+	defer tr.StartStage(obs.StageRank).End()
+	return rank.TopK(g, g.Coll(), g.Scorer(), q, k)
 }
 
 // ensureScorer returns a generation that carries an IDF scorer, lazily
@@ -310,12 +349,27 @@ type TimelineBucket struct {
 // reports how many matching objects were alive in it (and for how long) —
 // "how did interest in these terms evolve across the period".
 func (e *Engine) Timeline(start, end Timestamp, buckets int, terms ...string) []TimelineBucket {
-	elems, ok := e.resolveTerms(terms)
+	return e.timelineTraced(nil, start, end, buckets, terms)
+}
+
+// timelineTraced is the Timeline body with an optional trace recorder
+// (nil = disabled).
+func (e *Engine) timelineTraced(tr *obs.Trace, start, end Timestamp, buckets int, terms []string) []TimelineBucket {
+	elems, ok := e.resolveTermsTraced(tr, terms)
 	if !ok {
 		return nil
 	}
 	g := e.snapshot()
-	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems)}
+	q := Query{Interval: model.Canon(start, end), Elems: model.NormalizeElems(elems), Trace: tr}
+	out := aggregateTimeline(g, q, buckets, tr)
+	tr.AddResults(len(out))
+	return out
+}
+
+// aggregateTimeline runs the histogram aggregation under an agg span.
+// Like the rank span, it envelopes the aggregation's inner index work.
+func aggregateTimeline(g *maint.Generation, q Query, buckets int, tr *obs.Trace) []TimelineBucket {
+	defer tr.StartStage(obs.StageAgg).End()
 	out := make([]TimelineBucket, 0, buckets)
 	for _, b := range aggregate.Histogram(g, g.Coll(), q, buckets) {
 		out = append(out, TimelineBucket{Start: b.Span.Start, End: b.Span.End, Count: b.Count, Mass: b.Mass})

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/maint"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Engine-level concurrent execution: batched searches over the bounded
@@ -53,13 +54,21 @@ func (e *Engine) executor() *exec.Pool {
 	return defaultPool
 }
 
+// PoolStats returns the cumulative fan-out counters of the engine's
+// current worker pool. The counters reset when SetParallelism swaps the
+// pool; scrape-time consumers should treat them as best-effort.
+func (e *Engine) PoolStats() exec.PoolStats {
+	return e.executor().Stats()
+}
+
 // runQuery evaluates one query against a generation snapshot with
 // intra-query fan-out, returning externally-translated ids in ascending
 // order.
 func runQuery(g *maint.Generation, q Query, pool *exec.Pool) []ObjectID {
 	ids := g.QueryP(q, pool)
-	SortIDs(ids)
-	return g.External(ids)
+	out := finishIDs(g, ids, q.Trace)
+	q.Trace.AddResults(len(out))
+	return out
 }
 
 // SearchBatch evaluates many element-id queries concurrently over the
@@ -84,11 +93,19 @@ func (e *Engine) SearchBatch(queries []Query) []Result {
 func (e *Engine) SearchBatchCtx(ctx context.Context, queries []Query) []Result {
 	g := e.snapshot()
 	pool := e.executor()
+	tr := obs.TraceFromContext(ctx)
+	tr.SetBatch(len(queries))
 	results := make([]Result, len(queries))
 	started := make([]bool, len(queries))
 	_ = pool.MapCtx(ctx, len(queries), func(i int) {
 		started[i] = true
-		results[i] = Result{IDs: runQuery(g, queries[i], pool)}
+		q := queries[i]
+		if q.Trace == nil {
+			// The batch rows share the context trace; the accumulators
+			// are atomic, so concurrent rows record safely.
+			q.Trace = tr
+		}
+		results[i] = Result{IDs: runQuery(g, q, pool)}
 	})
 	if err := ctx.Err(); err != nil {
 		for i := range results {
@@ -109,11 +126,48 @@ func (e *Engine) SearchCtx(ctx context.Context, start, end Timestamp, terms ...s
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFromContext(ctx)
 	done := make(chan []ObjectID, 1)
-	go func() { done <- e.Search(start, end, terms...) }()
+	go func() { done <- e.searchTraced(tr, start, end, terms) }()
 	select {
 	case ids := <-done:
 		return ids, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SearchTopKCtx is SearchTopK with cancellation and timeout support: it
+// returns ctx.Err() as soon as ctx fires, even while ranking is still
+// running. Like SearchCtx, the abandoned evaluation finishes in the
+// background; callers bound strays via their own concurrency cap.
+func (e *Engine) SearchTopKCtx(ctx context.Context, start, end Timestamp, k int, terms ...string) ([]ScoredResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := obs.TraceFromContext(ctx)
+	done := make(chan []ScoredResult, 1)
+	go func() { done <- e.searchTopKTraced(tr, start, end, k, terms) }()
+	select {
+	case res := <-done:
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TimelineCtx is Timeline with cancellation and timeout support,
+// following the same detached-evaluation contract as SearchCtx.
+func (e *Engine) TimelineCtx(ctx context.Context, start, end Timestamp, buckets int, terms ...string) ([]TimelineBucket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := obs.TraceFromContext(ctx)
+	done := make(chan []TimelineBucket, 1)
+	go func() { done <- e.timelineTraced(tr, start, end, buckets, terms) }()
+	select {
+	case res := <-done:
+		return res, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -131,25 +185,9 @@ func (e *Engine) SearchTermsBatch(start, end Timestamp, termRows [][]string) []R
 // following the SearchBatchCtx row contract: rows not started when ctx
 // fires carry Err = ctx.Err() and nil IDs.
 func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, termRows [][]string) []Result {
-	iv := model.Canon(start, end)
-	queries := make([]Query, len(termRows))
-	known := make([]bool, len(termRows))
-	e.dmu.RLock()
-	for i, terms := range termRows {
-		elems := make([]ElemID, 0, len(terms))
-		ok := true
-		for _, t := range terms {
-			id, found := e.lookupLocked(t)
-			if !found {
-				ok = false
-				break
-			}
-			elems = append(elems, id)
-		}
-		known[i] = ok
-		queries[i] = Query{Interval: iv, Elems: model.NormalizeElems(elems)}
-	}
-	e.dmu.RUnlock()
+	tr := obs.TraceFromContext(ctx)
+	tr.SetBatch(len(termRows))
+	queries, known := e.planTermRows(tr, start, end, termRows)
 
 	g := e.snapshot()
 	pool := e.executor()
@@ -170,4 +208,32 @@ func (e *Engine) SearchTermsBatchCtx(ctx context.Context, start, end Timestamp, 
 		}
 	}
 	return results
+}
+
+// planTermRows resolves every row's terms against the dictionary under
+// one read lock (and one plan span), building the batch queries. Rows
+// with unknown terms are marked known=false and resolve to empty
+// results, matching Search.
+func (e *Engine) planTermRows(tr *obs.Trace, start, end Timestamp, termRows [][]string) (queries []Query, known []bool) {
+	defer tr.StartStage(obs.StagePlan).End()
+	iv := model.Canon(start, end)
+	queries = make([]Query, len(termRows))
+	known = make([]bool, len(termRows))
+	e.dmu.RLock()
+	defer e.dmu.RUnlock()
+	for i, terms := range termRows {
+		elems := make([]ElemID, 0, len(terms))
+		ok := true
+		for _, t := range terms {
+			id, found := e.lookupLocked(t)
+			if !found {
+				ok = false
+				break
+			}
+			elems = append(elems, id)
+		}
+		known[i] = ok
+		queries[i] = Query{Interval: iv, Elems: model.NormalizeElems(elems), Trace: tr}
+	}
+	return queries, known
 }

@@ -33,8 +33,12 @@ type Config struct {
 	// Out receives the rendered tables.
 	Out io.Writer
 	// JSONPath, when set, receives the machine-readable artifact of
-	// experiments that produce one (perfjson).
+	// experiments that produce one (perfjson, obsjson).
 	JSONPath string
+	// Stages, when set, attaches an obs.Trace recorder to the measured
+	// queries and emits the per-stage breakdown (postings fetch,
+	// intersection, ...) into the JSON artifact's method rows.
+	Stages bool
 }
 
 // Normalize fills defaults.
@@ -74,6 +78,7 @@ func Experiments() []Experiment {
 		{"verify", "Verification: result equivalence of every index vs brute force", RunVerify},
 		{"perfjson", "Deterministic per-method perf snapshot written as JSON", RunPerfJSON},
 		{"tombstone", "Tombstone load: query latency vs deleted fraction, before/after compaction", RunTombstone},
+		{"obsjson", "Observability: disabled-trace overhead budget + per-stage query breakdown", RunObsJSON},
 	}
 }
 

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	temporalir "repro"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// StageRow is one stage of a per-method query breakdown: how many spans
+// the workload recorded for the stage, their summed wall time, and the
+// stage's share of the total recorded span time. Shares are computed
+// over the summed span time (not the end-to-end latency) because
+// enveloping stages — rank, agg — deliberately overlap their inner
+// postings/intersect spans.
+type StageRow struct {
+	Stage    string  `json:"stage"`
+	Spans    int64   `json:"spans"`
+	TotalNS  int64   `json:"total_ns"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// ObsOverhead is the disabled-trace overhead measurement: the cost the
+// instrumentation adds to a query-shaped loop when tracing is off (nil
+// *Trace at every call site). The acceptance budget for the layer is
+// BudgetPct; OverheadPct is what this run measured.
+type ObsOverhead struct {
+	Rounds          int     `json:"rounds"`
+	StagesPerQuery  int     `json:"stages_per_query"`
+	WorkSize        int     `json:"work_size"`
+	BaselineNSPerOp float64 `json:"baseline_ns_per_query"`
+	DisabledNSPerOp float64 `json:"disabled_trace_ns_per_query"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	BudgetPct       float64 `json:"budget_pct"`
+	WithinBudget    bool    `json:"within_budget"`
+}
+
+// ObsMethod is one per-method row of the observability artifact:
+// throughput with and without an attached trace recorder, and the
+// per-stage breakdown one traced pass over the workload produced.
+type ObsMethod struct {
+	Method            string     `json:"method"`
+	Label             string     `json:"label"`
+	UntracedQPS       float64    `json:"untraced_queries_per_sec"`
+	TracedQPS         float64    `json:"traced_queries_per_sec"`
+	TracedOverheadPct float64    `json:"traced_overhead_pct"`
+	ResultRows        int        `json:"result_rows"`
+	Stages            []StageRow `json:"stages"`
+}
+
+// ObsReport is the BENCH_pr5.json schema: the disabled-trace overhead
+// budget measurement plus, for every index method, the enabled-trace
+// cost and the per-stage breakdown of the paper's default workload —
+// the runtime counterpart of the per-phase cost analysis in the paper's
+// evaluation.
+type ObsReport struct {
+	Scale      float64     `json:"scale"`
+	NumQueries int         `json:"num_queries"`
+	Seed       int64       `json:"seed"`
+	Objects    int         `json:"objects"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Overhead   ObsOverhead `json:"disabled_overhead"`
+	Methods    []ObsMethod `json:"methods"`
+}
+
+// overheadBudgetPct is the acceptance budget for the observability
+// layer: with tracing disabled the instrumented query path must stay
+// within this percentage of the un-instrumented baseline.
+const overheadBudgetPct = 5.0
+
+// withTrace returns a copy of the workload with tr attached to every
+// query, leaving the input untouched for un-traced measurements.
+func withTrace(queries []model.Query, tr *obs.Trace) []model.Query {
+	out := make([]model.Query, len(queries))
+	for i, q := range queries {
+		q.Trace = tr
+		out[i] = q
+	}
+	return out
+}
+
+// stageBreakdown seals tr's accumulators into sorted report rows.
+func stageBreakdown(tr *obs.Trace) []StageRow {
+	var totalNS int64
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		totalNS += int64(tr.StageTotal(s))
+	}
+	var rows []StageRow
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		n := tr.StageCount(s)
+		if n == 0 {
+			continue
+		}
+		ns := int64(tr.StageTotal(s))
+		share := 0.0
+		if totalNS > 0 {
+			share = float64(ns) / float64(totalNS) * 100
+		}
+		rows = append(rows, StageRow{Stage: s.String(), Spans: n, TotalNS: ns, SharePct: share})
+	}
+	return rows
+}
+
+// RunObsJSON measures the observability layer itself: (1) the
+// disabled-trace overhead of the stage instrumentation against the 5%
+// acceptance budget, and (2) for every index method, query throughput
+// with and without a live trace recorder plus the per-stage breakdown
+// (postings fetch vs intersection vs the temporal-only path) of the
+// default workload. The rendered tables go to cfg.Out; cfg.JSONPath
+// receives the ObsReport (BENCH_pr5.json).
+func RunObsJSON(cfg Config) {
+	cfg = cfg.Normalize()
+
+	// (1) Disabled-trace overhead: the budget every instrumented call
+	// site in the engine is held to.
+	const rounds, stagesPerQ, workSize = 8000, 6, 512
+	baseNS, instNS := obs.DisabledOverhead(rounds, stagesPerQ, workSize)
+	overheadPct := (instNS - baseNS) / baseNS * 100
+	report := ObsReport{
+		Scale:      cfg.Scale,
+		NumQueries: cfg.NumQueries,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Overhead: ObsOverhead{
+			Rounds:          rounds,
+			StagesPerQuery:  stagesPerQ,
+			WorkSize:        workSize,
+			BaselineNSPerOp: baseNS,
+			DisabledNSPerOp: instNS,
+			OverheadPct:     overheadPct,
+			BudgetPct:       overheadBudgetPct,
+			WithinBudget:    overheadPct < overheadBudgetPct,
+		},
+	}
+	fmt.Fprintf(cfg.Out, "disabled-trace overhead: baseline %.0f ns/query, instrumented %.0f ns/query -> %+.2f%% (budget %.0f%%)\n\n",
+		baseNS, instNS, overheadPct, overheadBudgetPct)
+
+	// (2) Per-method traced cost and stage breakdown on the default
+	// synthetic workload (same seed and shape as perfjson).
+	coll := syntheticDefault(cfg, nil)
+	queries := defaultWorkload(coll, cfg)
+	report.Objects = coll.Len()
+
+	tbl := &Table{
+		Title:  "Per-stage query breakdown (one traced pass over the default workload)",
+		Header: []string{"method", "untraced q/s", "traced q/s", "overhead", "rows", "stage shares"},
+	}
+	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
+	// Each throughput figure is the best of several short runs: the
+	// maximum discards scheduler preemptions and cache-cold passes, so
+	// the traced-vs-untraced delta reflects instrumentation, not noise.
+	bestOf := func(qs []model.Query, ix temporalir.Index) float64 {
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			if qps := Throughput(ix, qs); qps > best {
+				best = qps
+			}
+		}
+		return best
+	}
+	for _, m := range methods {
+		ix, _ := MeasureBuild(m, coll, temporalir.Options{})
+		untracedQPS := bestOf(queries, ix)
+		// Throughput repeats the workload until a minimum duration, so
+		// its trace is discarded; the breakdown comes from one clean
+		// pass where every stage span is counted exactly once.
+		tracedQPS := bestOf(withTrace(queries, obs.NewTrace(string(m))), ix)
+		tr := obs.NewTrace(string(m))
+		rows := 0
+		for _, q := range withTrace(queries, tr) {
+			rows += len(ix.Query(q))
+		}
+		tracedOverhead := 0.0
+		if untracedQPS > 0 && tracedQPS > 0 {
+			tracedOverhead = (1e6/tracedQPS - 1e6/untracedQPS) / (1e6 / untracedQPS) * 100
+		}
+		breakdown := stageBreakdown(tr)
+		report.Methods = append(report.Methods, ObsMethod{
+			Method:            string(m),
+			Label:             shortName(m),
+			UntracedQPS:       untracedQPS,
+			TracedQPS:         tracedQPS,
+			TracedOverheadPct: tracedOverhead,
+			ResultRows:        rows,
+			Stages:            breakdown,
+		})
+		shares := ""
+		for i, r := range breakdown {
+			if i > 0 {
+				shares += " "
+			}
+			shares += fmt.Sprintf("%s=%.0f%%", r.Stage, r.SharePct)
+		}
+		tbl.Add(shortName(m), f0(untracedQPS), f0(tracedQPS), f2(tracedOverhead)+"%", fmt.Sprint(rows), shares)
+	}
+	tbl.Fprint(cfg.Out)
+
+	if cfg.JSONPath == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "obsjson: marshal: %v\n", err)
+		return
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(cfg.JSONPath, blob, 0o644); err != nil {
+		fmt.Fprintf(cfg.Out, "obsjson: write %s: %v\n", cfg.JSONPath, err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s\n", cfg.JSONPath)
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObsJSONSmoke runs the observability driver at tiny scale and
+// checks the JSON artifact: the overhead section is present and the
+// instrumented methods carry a per-stage breakdown whose shares sum to
+// ~100%.
+func TestObsJSONSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	cfg.JSONPath = filepath.Join(t.TempDir(), "obs.json")
+	RunObsJSON(cfg)
+
+	out := buf.String()
+	for _, w := range []string{"disabled-trace overhead", "budget", "Per-stage query breakdown"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, firstLines(out, 30))
+		}
+	}
+
+	blob, err := os.ReadFile(cfg.JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ObsReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if report.Overhead.BaselineNSPerOp <= 0 || report.Overhead.DisabledNSPerOp <= 0 {
+		t.Errorf("overhead section empty: %+v", report.Overhead)
+	}
+	if report.Overhead.BudgetPct != overheadBudgetPct {
+		t.Errorf("budget %v, want %v", report.Overhead.BudgetPct, overheadBudgetPct)
+	}
+	withStages := 0
+	for _, m := range report.Methods {
+		if len(m.Stages) == 0 {
+			continue // the uninstrumented baselines (plain tIF variants)
+		}
+		withStages++
+		var sum float64
+		for _, s := range m.Stages {
+			if s.Spans <= 0 || s.TotalNS < 0 {
+				t.Errorf("%s: bad stage row %+v", m.Method, s)
+			}
+			sum += s.SharePct
+		}
+		if sum < 99.0 || sum > 101.0 {
+			t.Errorf("%s: stage shares sum to %.2f%%, want ~100%%", m.Method, sum)
+		}
+	}
+	// The HINT-backed composites and both irHINT variants are
+	// instrumented; at least those five must report a breakdown.
+	if withStages < 5 {
+		t.Errorf("only %d methods report stage breakdowns, want >= 5", withStages)
+	}
+}
+
+// TestPerfJSONStagesParity checks the -stages flag: with Config.Stages
+// the perfjson rows gain stage breakdowns, and the result checksums are
+// identical to an untraced run — tracing must never change results.
+func TestPerfJSONStagesParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	run := func(stages bool) PerfReport {
+		cfg := tiny()
+		cfg.Out = &bytes.Buffer{}
+		cfg.JSONPath = filepath.Join(t.TempDir(), "perf.json")
+		cfg.Stages = stages
+		RunPerfJSON(cfg)
+		blob, err := os.ReadFile(cfg.JSONPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report PerfReport
+		if err := json.Unmarshal(blob, &report); err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	traced, plain := run(true), run(false)
+	if len(traced.Methods) != len(plain.Methods) {
+		t.Fatalf("method count %d vs %d", len(traced.Methods), len(plain.Methods))
+	}
+	tracedBreakdowns := 0
+	for i, m := range traced.Methods {
+		p := plain.Methods[i]
+		if m.SerialChecksum != p.SerialChecksum {
+			t.Errorf("%s: traced serial checksum %s != untraced %s", m.Method, m.SerialChecksum, p.SerialChecksum)
+		}
+		if len(p.Stages) != 0 {
+			t.Errorf("%s: stage rows present without -stages", p.Method)
+		}
+		if len(m.Stages) > 0 {
+			tracedBreakdowns++
+		}
+	}
+	if tracedBreakdowns == 0 {
+		t.Error("no method reported a stage breakdown with -stages set")
+	}
+}

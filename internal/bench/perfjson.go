@@ -10,6 +10,7 @@ import (
 	temporalir "repro"
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/testutil"
 )
 
@@ -35,6 +36,9 @@ type PerfMethod struct {
 	// cannot change results) and across methods and runs.
 	SerialChecksum string `json:"serial_checksum"`
 	BatchChecksum  string `json:"batch_checksum"`
+	// Stages is the per-stage breakdown of the serial pass, present
+	// when the run was configured with Config.Stages (irbench -stages).
+	Stages []StageRow `json:"stages,omitempty"`
 }
 
 // PerfReport is the BENCH_pr*.json schema: one deterministic workload
@@ -101,8 +105,17 @@ func RunPerfJSON(cfg Config) {
 	for _, m := range methods {
 		ix, bs := MeasureBuild(m, coll, temporalir.Options{})
 		rows := 0
-		serialResults := make([][]model.ObjectID, len(queries))
-		for i, q := range queries {
+		// With -stages the serial pass carries a trace recorder; the
+		// breakdown lands in the method's JSON row. Tracing cannot
+		// change results (checksums below would catch it if it did).
+		var tr *obs.Trace
+		serialQueries := queries
+		if cfg.Stages {
+			tr = obs.NewTrace(string(m))
+			serialQueries = withTrace(queries, tr)
+		}
+		serialResults := make([][]model.ObjectID, len(serialQueries))
+		for i, q := range serialQueries {
 			serialResults[i] = ix.Query(q)
 			rows += len(serialResults[i])
 		}
@@ -136,6 +149,7 @@ func RunPerfJSON(cfg Config) {
 			SpeedupX:           speedup,
 			SerialChecksum:     serialSum,
 			BatchChecksum:      batchSum,
+			Stages:             stageBreakdown(tr),
 		})
 		tbl.Add(shortName(m), f2(bs.Seconds), f2(bs.SizeMB), f1(micros), f0(qps), f0(bqps), f2(speedup), fmt.Sprint(rows))
 		if serialSum != batchSum {

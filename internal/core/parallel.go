@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/hint"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Parallel query paths for the two irHINT variants. Both algorithms emit
@@ -22,31 +23,32 @@ const parallelMinPer = 2
 
 // relevantOf collects the relevant partitions with their obligations —
 // the serial prologue shared by both variants' fan-outs.
-func relevantOf[P any](dom domain.Domain, levels []directory[P], q model.Interval) (parts []*P, obs []hint.Obligations) {
+func relevantOf[P any](dom domain.Domain, levels []directory[P], q model.Interval) (parts []*P, obls []hint.Obligations) {
 	hint.Visit(dom, q, func(lv hint.LevelVisit) {
 		levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *P) {
 			parts = append(parts, p)
-			obs = append(obs, lv.Oblige(j))
+			obls = append(obls, lv.Oblige(j))
 		})
 	})
-	return parts, obs
+	return parts, obls
 }
 
 // QueryP is Query with the per-division reduced queries fanned across the
 // pool. Results equal Query as a set.
 func (ix *PerfIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnlyP(q.Interval, pool)
+		return ix.tracedTemporalOnlyP(q, pool)
 	}
-	parts, obs := relevantOf(ix.dom, ix.levels, q.Interval)
+	parts, obls := relevantOf(ix.dom, ix.levels, q.Interval)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
 		return ix.Query(q)
 	}
+	defer q.Trace.StartStage(obs.StageIntersect).End()
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var out, scratch []model.ObjectID
 		for i := lo; i < hi; i++ {
-			p, ob := parts[i], obs[i]
+			p, ob := parts[i], obls[i]
 			scratch, out = p.o.query(q, plan, ob.CheckStart, ob.CheckEnd, scratch, out)
 			if ob.First {
 				scratch, out = p.r.query(q, plan, ob.CheckStart, false, scratch, out)
@@ -61,15 +63,21 @@ func (ix *PerfIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 	return out
 }
 
+// tracedTemporalOnlyP wraps the element-free fan-out in a postings span.
+func (ix *PerfIndex) tracedTemporalOnlyP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
+	return ix.queryTemporalOnlyP(q.Interval, pool)
+}
+
 func (ix *PerfIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
-	parts, obs := relevantOf(ix.dom, ix.levels, q)
+	parts, obls := relevantOf(ix.dom, ix.levels, q)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
 		return ix.queryTemporalOnly(q)
 	}
 	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var out []model.ObjectID
 		for i := lo; i < hi; i++ {
-			p, ob := parts[i], obs[i]
+			p, ob := parts[i], obls[i]
 			out = p.o.allIDs(q, ob.CheckStart, ob.CheckEnd, out)
 			if ob.First {
 				out = p.r.allIDs(q, ob.CheckStart, false, out)
@@ -88,17 +96,18 @@ func (ix *PerfIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []mod
 // across the pool, each chunk carrying its own candidate buffer.
 func (ix *SizeIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnlyP(q.Interval, pool)
+		return ix.tracedTemporalOnlyP(q, pool)
 	}
-	parts, obs := relevantOf(ix.dom, ix.levels, q.Interval)
+	parts, obls := relevantOf(ix.dom, ix.levels, q.Interval)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
 		return ix.Query(q)
 	}
+	defer q.Trace.StartStage(obs.StageIntersect).End()
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var out, cbuf []model.ObjectID
 		for i := lo; i < hi; i++ {
-			p, ob := parts[i], obs[i]
+			p, ob := parts[i], obls[i]
 			if p.o.list(plan[0]) != nil {
 				cbuf = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q.Interval, cbuf[:0])
 				out = intersectDiv(&p.o, cbuf, plan, out)
@@ -117,15 +126,21 @@ func (ix *SizeIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 	return out
 }
 
+// tracedTemporalOnlyP wraps the element-free fan-out in a postings span.
+func (ix *SizeIndex) tracedTemporalOnlyP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
+	return ix.queryTemporalOnlyP(q.Interval, pool)
+}
+
 func (ix *SizeIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
-	parts, obs := relevantOf(ix.dom, ix.levels, q)
+	parts, obls := relevantOf(ix.dom, ix.levels, q)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
 		return ix.queryTemporalOnly(q)
 	}
 	partials := exec.MapChunks(pool, len(parts), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var out []model.ObjectID
 		for i := lo; i < hi; i++ {
-			p, ob := parts[i], obs[i]
+			p, ob := parts[i], obls[i]
 			out = filterOriginals(p.o.ivals, ob.CheckStart, ob.CheckEnd, q, out)
 			if ob.First {
 				out = filterReplicas(p.r.ivals, ob.CheckStart, q, out)

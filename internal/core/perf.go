@@ -5,6 +5,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/hint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -116,8 +117,11 @@ func (ix *PerfIndex) growTo(n int) {
 // outputs disjoint, so no de-duplication step is needed.
 func (ix *PerfIndex) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnly(q.Interval)
+		return ix.tracedTemporalOnly(q)
 	}
+	// Algorithm 5 fuses the postings fetch and the intersection per
+	// division, so one intersect span covers the whole traversal.
+	defer q.Trace.StartStage(obs.StageIntersect).End()
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	var out, scratch []model.ObjectID
 	hint.Visit(ix.dom, q.Interval, func(lv hint.LevelVisit) {
@@ -131,6 +135,12 @@ func (ix *PerfIndex) Query(q model.Query) []model.ObjectID {
 		})
 	})
 	return out
+}
+
+// tracedTemporalOnly wraps the element-free path in a postings span.
+func (ix *PerfIndex) tracedTemporalOnly(q model.Query) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
+	return ix.queryTemporalOnly(q.Interval)
 }
 
 func (ix *PerfIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {

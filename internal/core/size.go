@@ -7,6 +7,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/hint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -209,8 +210,11 @@ func (ix *SizeIndex) growTo(n int) {
 // division's id-only postings list of every query element.
 func (ix *SizeIndex) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnly(q.Interval)
+		return ix.tracedTemporalOnly(q)
 	}
+	// Algorithm 6 fuses the range filter and the merge intersection per
+	// division, so one intersect span covers the whole traversal.
+	defer q.Trace.StartStage(obs.StageIntersect).End()
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	var out []model.ObjectID
 	var cbuf []model.ObjectID
@@ -287,6 +291,12 @@ func intersectDiv(d *sizeDiv, cands []model.ObjectID, plan []model.ElemID, out [
 		}
 	}
 	return append(out, cands...)
+}
+
+// tracedTemporalOnly wraps the element-free path in a postings span.
+func (ix *SizeIndex) tracedTemporalOnly(q model.Query) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
+	return ix.queryTemporalOnly(q.Interval)
 }
 
 func (ix *SizeIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {

@@ -34,6 +34,34 @@ type Pool struct {
 	// the submitting goroutine is always worker zero. Sending acquires a
 	// token, receiving releases it.
 	tokens chan struct{}
+
+	// Fan-out accounting, exported via Stats for the observability
+	// layer. Counting is lock-free and off the per-item hot path: one
+	// add per Map call plus one per borrowed helper.
+	maps    atomic.Uint64
+	items   atomic.Uint64
+	helpers atomic.Uint64
+}
+
+// PoolStats is a monotonic snapshot of the pool's fan-out activity.
+type PoolStats struct {
+	// Maps counts fan-out invocations (Map/MapCtx calls that had more
+	// than one item and more than one worker available).
+	Maps uint64 `json:"maps"`
+	// Items counts work items submitted across those invocations.
+	Items uint64 `json:"items"`
+	// Helpers counts goroutines actually borrowed from the token
+	// budget; Maps with zero borrowed helpers ran caller-only.
+	Helpers uint64 `json:"helpers"`
+}
+
+// Stats returns the pool's cumulative fan-out counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Maps:    p.maps.Load(),
+		Items:   p.items.Load(),
+		Helpers: p.helpers.Load(),
+	}
 }
 
 // NewPool returns a pool running at most workers tasks concurrently.
@@ -81,6 +109,8 @@ func (p *Pool) mapInner(ctx context.Context, n int, fn func(i int)) error {
 		}
 		return nil
 	}
+	p.maps.Add(1)
+	p.items.Add(uint64(n))
 	var next atomic.Int64
 	run := func() {
 		for {
@@ -98,6 +128,7 @@ func (p *Pool) mapInner(ctx context.Context, n int, fn func(i int)) error {
 	for helpers := 0; helpers < p.workers-1 && helpers < n-1; helpers++ {
 		select {
 		case p.tokens <- struct{}{}:
+			p.helpers.Add(1)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()

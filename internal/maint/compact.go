@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Compact synchronously merges the memtable into the compacted store,
@@ -29,11 +30,22 @@ func (s *Store) Compact(ctx context.Context) (CompactionStats, error) {
 	return s.Stats(), err
 }
 
+// phaseTimings carries the per-phase measurements of one compaction
+// from the off-lock phases into the locked swap, where they are folded
+// into the store's stats.
+type phaseTimings struct {
+	copyDur   time.Duration
+	buildDur  time.Duration
+	reclaimed int64
+}
+
 // runCompact is the compaction body; the caller holds the compacting
 // latch. Phase 1 (survivor copy + index rebuild) runs without any lock;
-// phase 2 (state swap) briefly takes the writer mutex.
+// phase 2 (state swap) briefly takes the writer mutex. When the context
+// carries an obs.Trace, each phase records a span on it.
 func (s *Store) runCompact(ctx context.Context) error {
 	start := time.Now()
+	tr := obs.TraceFromContext(ctx)
 	g0 := s.Snapshot()
 	if g0.dead.Len() == 0 && g0.mem.Len() == 0 {
 		return nil // nothing to merge or drop
@@ -46,21 +58,15 @@ func (s *Store) runCompact(ctx context.Context) error {
 	// into a fresh dense collection and rebuild the main index over it.
 	// Writers may keep appending and deleting concurrently; anything past
 	// g0 is folded in during phase 2.
-	n0 := len(g0.coll.Objects)
-	survivors := make([]model.Object, 0, n0-g0.dead.Len())
-	ext := make([]model.ObjectID, 0, n0-g0.dead.Len())
-	for i := range g0.coll.Objects {
-		id := model.ObjectID(i)
-		if g0.dead.Has(id) {
-			continue
-		}
-		o := g0.coll.Objects[i]
-		o.ID = model.ObjectID(len(survivors))
-		survivors = append(survivors, o)
-		ext = append(ext, g0.ext[i])
-	}
+	var ph phaseTimings
+	t0 := time.Now()
+	survivors, ext, reclaimed := copySurvivors(g0, tr)
+	ph.copyDur, ph.reclaimed = time.Since(t0), reclaimed
+
 	newColl := &model.Collection{Objects: survivors, DictSize: g0.coll.DictSize}
-	base, err := s.build(newColl)
+	t1 := time.Now()
+	base, err := s.buildBase(newColl, tr)
+	ph.buildDur = time.Since(t1)
 	if err != nil {
 		return err
 	}
@@ -68,15 +74,45 @@ func (s *Store) runCompact(ctx context.Context) error {
 		return err
 	}
 
-	s.swapCompacted(g0, newColl, base, ext, start)
+	s.swapCompacted(g0, newColl, base, ext, start, ph, tr)
 	return nil
+}
+
+// copySurvivors is compaction phase 1a: the off-lock copy of g0's live
+// objects into a fresh dense collection. It also estimates the bytes
+// reclaimed by dropping the tombstoned objects.
+func copySurvivors(g0 *Generation, tr *obs.Trace) (survivors []model.Object, ext []model.ObjectID, reclaimed int64) {
+	defer tr.StartStage(obs.StageCompactCopy).End()
+	n0 := len(g0.coll.Objects)
+	survivors = make([]model.Object, 0, n0-g0.dead.Len())
+	ext = make([]model.ObjectID, 0, n0-g0.dead.Len())
+	for i := range g0.coll.Objects {
+		id := model.ObjectID(i)
+		if g0.dead.Has(id) {
+			reclaimed += objectBytes(&g0.coll.Objects[i]) + tombstoneBytes
+			continue
+		}
+		o := g0.coll.Objects[i]
+		o.ID = model.ObjectID(len(survivors))
+		survivors = append(survivors, o)
+		ext = append(ext, g0.ext[i])
+	}
+	return survivors, ext, reclaimed
+}
+
+// buildBase is compaction phase 1b: the off-lock index rebuild.
+func (s *Store) buildBase(c *model.Collection, tr *obs.Trace) (Index, error) {
+	defer tr.StartStage(obs.StageCompactBuild).End()
+	return s.build(c)
 }
 
 // swapCompacted is compaction phase 2: under the writer mutex, fold in
 // everything that happened after the g0 snapshot (appends become the new
 // memtable, fresh tombstones are re-keyed onto the new dense ids), then
 // install the new backing state and publish the new generation.
-func (s *Store) swapCompacted(g0 *Generation, newColl *model.Collection, base Index, ext []model.ObjectID, start time.Time) {
+func (s *Store) swapCompacted(g0 *Generation, newColl *model.Collection, base Index, ext []model.ObjectID, start time.Time, ph phaseTimings, tr *obs.Trace) {
+	defer tr.StartStage(obs.StageCompactSwap).End()
+	swapStart := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.Snapshot()
@@ -121,9 +157,16 @@ func (s *Store) swapCompacted(g0 *Generation, newColl *model.Collection, base In
 	s.compactions++
 	s.last = lastCompaction{
 		duration: time.Since(start),
+		copyDur:  ph.copyDur,
+		buildDur: ph.buildDur,
+		swapDur:  time.Since(swapStart),
 		dropped:  g0.dead.Len(),
 		merged:   g0.mem.Len(),
 	}
+	s.totalDuration += s.last.duration
+	s.totalDropped += uint64(s.last.dropped)
+	s.totalMerged += uint64(s.last.merged)
+	s.reclaimedBytes += ph.reclaimed
 	s.publish(&Generation{
 		epoch:      cur.epoch + 1,
 		coll:       &model.Collection{Objects: newColl.Objects[:n:n], DictSize: newColl.DictSize},

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rank"
 )
 
@@ -123,6 +124,7 @@ func (g *Generation) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 // finish applies tombstone filtering to the base candidates (in place)
 // and merges in matching memtable objects.
 func (g *Generation) finish(q model.Query, ids []model.ObjectID) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StageFilter).End()
 	filtered := g.dead.Len() > 0
 	if filtered {
 		w := 0

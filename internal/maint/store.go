@@ -35,9 +35,14 @@ func (p Policy) triggered(g *Generation) bool {
 	return false
 }
 
-// lastCompaction records the outcome of the most recent compaction.
+// lastCompaction records the outcome of the most recent compaction,
+// including the per-phase breakdown (off-lock survivor copy, off-lock
+// index rebuild, locked swap).
 type lastCompaction struct {
 	duration time.Duration
+	copyDur  time.Duration
+	buildDur time.Duration
+	swapDur  time.Duration
 	dropped  int
 	merged   int
 }
@@ -86,6 +91,18 @@ type Store struct {
 	compactions uint64
 	// last records the most recent compaction outcome. irlint:guarded-by mu
 	last lastCompaction
+	// totalDuration accumulates wall time across all compactions.
+	// irlint:guarded-by mu
+	totalDuration time.Duration
+	// totalDropped / totalMerged accumulate objects physically dropped
+	// and memtable objects folded in across all compactions.
+	// irlint:guarded-by mu
+	totalDropped uint64
+	totalMerged  uint64 // irlint:guarded-by mu
+	// reclaimedBytes accumulates the estimated bytes freed by dropping
+	// tombstoned objects (object payloads plus tombstone entries).
+	// irlint:guarded-by mu
+	reclaimedBytes int64
 }
 
 // NewStore wraps an already-built base index and its collection in a
@@ -236,6 +253,16 @@ type CompactionStats struct {
 	LastDuration time.Duration `json:"last_duration_ns"`
 	LastDropped  int           `json:"last_dropped"`
 	LastMerged   int           `json:"last_merged"`
+	// Per-phase breakdown of the most recent compaction.
+	LastCopy  time.Duration `json:"last_copy_ns"`
+	LastBuild time.Duration `json:"last_build_ns"`
+	LastSwap  time.Duration `json:"last_swap_ns"`
+	// Cumulative totals across all compactions (monotonic, suitable for
+	// Prometheus counters).
+	TotalDuration  time.Duration `json:"total_duration_ns"`
+	TotalDropped   uint64        `json:"total_dropped"`
+	TotalMerged    uint64        `json:"total_merged"`
+	ReclaimedBytes int64         `json:"reclaimed_bytes"`
 }
 
 // Stats returns a consistent snapshot of the store's compaction state.
@@ -259,6 +286,14 @@ func (s *Store) statsLocked(g *Generation) CompactionStats {
 		LastDuration: s.last.duration,
 		LastDropped:  s.last.dropped,
 		LastMerged:   s.last.merged,
+		LastCopy:     s.last.copyDur,
+		LastBuild:    s.last.buildDur,
+		LastSwap:     s.last.swapDur,
+
+		TotalDuration:  s.totalDuration,
+		TotalDropped:   s.totalDropped,
+		TotalMerged:    s.totalMerged,
+		ReclaimedBytes: s.reclaimedBytes,
 	}
 	if n := len(g.coll.Objects); n > 0 {
 		st.DeadRatio = float64(g.dead.Len()) / float64(n)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Timestamp is a point in the (discrete) time domain. The unit is
@@ -153,6 +155,12 @@ func NormalizeElems(elems []ElemID) []ElemID {
 type Query struct {
 	Interval Interval
 	Elems    []ElemID
+	// Trace, when non-nil, receives per-stage spans as the query is
+	// evaluated. The nil zero value is the disabled recorder: every
+	// obs.Trace method is a nil-receiver no-op, so un-traced queries
+	// pay one branch per stage boundary. Trace does not affect the
+	// query's semantics — results are identical with or without it.
+	Trace *obs.Trace
 }
 
 // Matches reports whether object o is an answer to query q.

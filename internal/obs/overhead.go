@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// workUnit simulates the per-stage useful work of a query: a small
+// arithmetic scan, sized so the stage-call overhead is measured
+// against a realistic amount of surrounding computation.
+func workUnit(data []int64) int64 {
+	var sum int64
+	for _, v := range data {
+		sum += v ^ (sum << 1)
+	}
+	return sum
+}
+
+// DisabledOverhead measures the cost the observability layer adds to a
+// query-shaped loop when tracing is DISABLED (nil *Trace): each
+// simulated query runs `stages` nil stage spans around workUnit calls.
+// It returns ns/op for the bare loop and the instrumented loop, so
+// callers can report the relative overhead. rounds controls total work
+// (use a few thousand for a stable reading).
+func DisabledOverhead(rounds, stages, workSize int) (baselineNS, instrumentedNS float64) {
+	data := make([]int64, workSize)
+	for i := range data {
+		data[i] = int64(i*2654435761 + 1)
+	}
+	var sink int64
+
+	bare := func() {
+		for s := 0; s < stages; s++ {
+			sink += workUnit(data)
+		}
+	}
+	var tr *Trace // the disabled recorder
+	instrumented := func() {
+		for s := 0; s < stages; s++ {
+			func() {
+				defer tr.StartStage(Stage(s % int(NumStages))).End()
+				sink += workUnit(data)
+			}()
+		}
+	}
+
+	measure := func(fn func()) float64 {
+		fn() // warm up
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			fn()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(rounds)
+	}
+	// Interleave the two measurements to cancel clock/thermal drift.
+	b1 := measure(bare)
+	i1 := measure(instrumented)
+	b2 := measure(bare)
+	i2 := measure(instrumented)
+	_ = sink
+	return (b1 + b2) / 2, (i1 + i2) / 2
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance budget for this layer: with tracing disabled (nil
+// *Trace), an instrumented query path must stay within 5% of the
+// un-instrumented baseline. BenchmarkQueryPath{Baseline,Disabled,
+// Enabled} give the raw numbers; TestDisabledOverheadBudget enforces
+// the budget in the normal test run (with margin for CI noise).
+
+const (
+	benchStages   = 6   // stages a typical query records
+	benchWorkSize = 512 // simulated per-stage useful work
+)
+
+func benchLoop(b *testing.B, tr *Trace) {
+	data := make([]int64, benchWorkSize)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < benchStages; s++ {
+			func() {
+				defer tr.StartStage(Stage(s % int(NumStages))).End()
+				sink += workUnit(data)
+			}()
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkQueryPathBaseline(b *testing.B) {
+	data := make([]int64, benchWorkSize)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < benchStages; s++ {
+			sink += workUnit(data)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkQueryPathDisabledTrace(b *testing.B) {
+	benchLoop(b, nil)
+}
+
+func BenchmarkQueryPathEnabledTrace(b *testing.B) {
+	benchLoop(b, NewTrace("bench"))
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("tir_bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("tir_bench_seconds", "", DefLatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}
+
+func TestDisabledOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// Three attempts: timing tests on loaded CI machines need slack.
+	var last float64
+	for attempt := 0; attempt < 3; attempt++ {
+		base, inst := DisabledOverhead(2000, benchStages, benchWorkSize)
+		last = (inst - base) / base * 100
+		if last < 5.0 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("disabled-trace overhead %.2f%% exceeds the 5%% budget", last)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog keeps the most recent query trace summaries whose duration
+// crossed a threshold, in a fixed-size ring. Offer is called once per
+// finished query, so a short critical section is fine here — the
+// per-stage hot path never touches it.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []Summary
+	next      int    // ring slot for the next entry
+	total     uint64 // entries ever recorded (ring may have dropped old ones)
+}
+
+// NewSlowLog builds a log capturing summaries with Duration >=
+// threshold, keeping the newest capacity entries. A negative threshold
+// captures everything; capacity < 1 is clamped to 1.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]Summary, 0, capacity)}
+}
+
+// Threshold returns the capture threshold (0 on a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Offer records s if it is slow enough, returning whether it was kept.
+// Safe on a nil log.
+func (l *SlowLog) Offer(s Summary) bool {
+	if l == nil || s.Duration < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, s)
+	} else {
+		l.ring[l.next] = s
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	return true
+}
+
+// Total returns how many entries were ever recorded, including ones
+// the ring has since overwritten.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []Summary {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Summary, 0, len(l.ring))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(l.ring); i++ {
+		idx := (l.next - 1 - i + len(l.ring)*2) % len(l.ring)
+		if idx < 0 || idx >= len(l.ring) {
+			break
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

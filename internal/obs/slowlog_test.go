@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	if l.Offer(Summary{Duration: 5 * time.Millisecond}) {
+		t.Fatal("fast query captured")
+	}
+	if !l.Offer(Summary{Duration: 10 * time.Millisecond}) {
+		t.Fatal("threshold query dropped")
+	}
+	if l.Total() != 1 || len(l.Snapshot()) != 1 {
+		t.Fatalf("total=%d snapshot=%d, want 1/1", l.Total(), len(l.Snapshot()))
+	}
+}
+
+func TestSlowLogWraparound(t *testing.T) {
+	l := NewSlowLog(-1, 4)
+	for i := 1; i <= 10; i++ {
+		l.Offer(Summary{Method: "q", Results: int64(i), Duration: time.Duration(i)})
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4 (ring capacity)", len(snap))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []int64{10, 9, 8, 7} {
+		if snap[i].Results != want {
+			t.Fatalf("snapshot[%d].Results = %d, want %d", i, snap[i].Results, want)
+		}
+	}
+}
+
+func TestSlowLogPartialRing(t *testing.T) {
+	l := NewSlowLog(-1, 8)
+	l.Offer(Summary{Results: 1})
+	l.Offer(Summary{Results: 2})
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Results != 2 || snap[1].Results != 1 {
+		t.Fatalf("snapshot = %+v, want [2 1]", snap)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(-1, 16)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Offer(Summary{Duration: time.Duration(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", l.Total(), workers*per)
+	}
+	if len(l.Snapshot()) != 16 {
+		t.Fatalf("snapshot len = %d, want 16", len(l.Snapshot()))
+	}
+}
+
+func TestSlowLogNil(t *testing.T) {
+	var l *SlowLog
+	if l.Offer(Summary{}) || l.Total() != 0 || l.Snapshot() != nil || l.Threshold() != 0 {
+		t.Fatal("nil slow log must be inert")
+	}
+}

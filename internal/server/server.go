@@ -5,6 +5,13 @@
 // never wait on writers; POST /admin/compact (or the engine's
 // auto-compaction policy) folds accumulated inserts and deletes into a
 // freshly rebuilt index off the read path.
+//
+// The server is also the integration point of the observability layer
+// (internal/obs): every query endpoint records per-method counters and
+// latency histograms, carries a trace recorder through the engine's
+// stages, and feeds finished traces to the slow-query log. GET /metrics
+// renders the registry in the Prometheus text format; GET /debug/slow
+// dumps the slow-query ring.
 package server
 
 import (
@@ -16,14 +23,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	temporalir "repro"
+	"repro/internal/obs"
 	"repro/internal/textutil"
 )
 
-// Options tunes the server's admission control.
+// Options tunes the server's admission control and observability.
 type Options struct {
 	// QueryTimeout bounds each search request's evaluation; expired
 	// requests answer 504. Zero selects DefaultQueryTimeout; negative
@@ -34,23 +41,48 @@ type Options struct {
 	// backpressure instead of a lock convoy. Zero selects
 	// 4 x GOMAXPROCS; negative disables the cap.
 	MaxInFlight int
+	// Obs supplies the metrics registry, tracer and slow-query log. nil
+	// makes the server construct its own default Observer.
+	Obs *obs.Observer
 }
 
 // DefaultQueryTimeout bounds search evaluation when Options.QueryTimeout
 // is zero.
 const DefaultQueryTimeout = 5 * time.Second
 
+// queryMetrics is the per-method handle pair the handlers record into.
+type queryMetrics struct {
+	count   *obs.Counter
+	seconds *obs.Histogram
+}
+
 // Server is an http.Handler serving one engine.
+//
+// It holds no lock around query evaluation: engine reads resolve one
+// immutable generation snapshot (engine.snapshot / Store.Snapshot) and
+// run entirely against it, and engine writes serialize internally on
+// the store's writer mutex. The former Server.mu RWMutex — which held
+// readers across whole evaluations and let a slow search block every
+// insert — is gone; the snapshot guarantee makes it redundant.
 type Server struct {
-	mu sync.RWMutex
-	// irlint:guarded-by mu
 	engine *temporalir.Engine
 	mux    *http.ServeMux
+	obs    *obs.Observer
 	// queryTimeout and inflight are immutable after construction.
 	queryTimeout time.Duration
 	// inflight is the admission semaphore: a slot is held for the whole
 	// evaluation of a search request. nil means uncapped.
 	inflight chan struct{}
+
+	metSearch   queryMetrics
+	metTopK     queryMetrics
+	metBatch    queryMetrics
+	metTimeline queryMetrics
+	admAccepted *obs.Counter
+	admRejected *obs.Counter
+	admTimeout  *obs.Counter
+	batchSize   *obs.Histogram
+	inflightG   *obs.Gauge
 }
 
 // New wraps an engine with default admission control. The engine must
@@ -59,8 +91,8 @@ func New(engine *temporalir.Engine) *Server {
 	return NewWithOptions(engine, Options{})
 }
 
-// NewWithOptions wraps an engine with explicit timeout and backpressure
-// settings.
+// NewWithOptions wraps an engine with explicit timeout, backpressure
+// and observability settings.
 func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	if opts.QueryTimeout == 0 {
 		opts.QueryTimeout = DefaultQueryTimeout
@@ -68,10 +100,19 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	if opts.MaxInFlight == 0 {
 		opts.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
-	s := &Server{engine: engine, mux: http.NewServeMux(), queryTimeout: opts.QueryTimeout}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewObserver(obs.Config{})
+	}
+	s := &Server{
+		engine:       engine,
+		mux:          http.NewServeMux(),
+		obs:          opts.Obs,
+		queryTimeout: opts.QueryTimeout,
+	}
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
+	s.registerMetrics()
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /objects", s.handleInsert)
@@ -79,20 +120,104 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
 	return s
+}
+
+// Obs returns the server's observer, for callers (irserve, tests) that
+// want to toggle tracing or read the registry directly.
+func (s *Server) Obs() *obs.Observer { return s.obs }
+
+// registerMetrics resolves every hot-path metric handle once, and wires
+// the scrape-time engine gauges. Handles are plain pointers; recording
+// into them takes no lock.
+func (s *Server) registerMetrics() {
+	reg := s.obs.Registry()
+	method := func(m string) queryMetrics {
+		return queryMetrics{
+			count:   reg.Counter("tir_queries_total", "Queries served, by method.", obs.Label{Key: "method", Value: m}),
+			seconds: reg.Histogram("tir_query_seconds", "Query latency in seconds, by method.", obs.DefLatencyBuckets(), obs.Label{Key: "method", Value: m}),
+		}
+	}
+	s.metSearch = method("search")
+	s.metTopK = method("search_topk")
+	s.metBatch = method("search_batch")
+	s.metTimeline = method("timeline")
+
+	adm := func(res string) *obs.Counter {
+		return reg.Counter("tir_admission_total", "Admission-control outcomes.", obs.Label{Key: "result", Value: res})
+	}
+	s.admAccepted = adm("accepted")
+	s.admRejected = adm("rejected")
+	s.admTimeout = adm("timeout")
+	s.batchSize = reg.Histogram("tir_batch_queries", "Queries per batch request.", obs.DefSizeBuckets())
+	s.inflightG = reg.Gauge("tir_inflight_queries", "Search requests currently holding an admission slot.")
+
+	reg.CounterFunc("tir_slow_queries_total", "Traces admitted to the slow-query log.", func() float64 {
+		return float64(s.obs.Slow().Total())
+	})
+
+	// Engine-state metrics are sampled at scrape time: the underlying
+	// stats are either atomic snapshots or taken under the store's own
+	// short-lived locks, so scraping never touches the query path.
+	eng := s.engine
+	reg.GaugeFunc("tir_engine_objects", "Live (non-tombstoned) objects.", func() float64 {
+		return float64(eng.Len())
+	})
+	reg.GaugeFunc("tir_engine_size_bytes", "Estimated resident index size.", func() float64 {
+		return float64(eng.SizeBytes())
+	})
+	reg.GaugeFunc("tir_memtable_objects", "Objects in the memtable tail.", func() float64 {
+		return float64(eng.CompactStats().MemObjects)
+	})
+	reg.GaugeFunc("tir_memtable_bytes", "Estimated memtable size.", func() float64 {
+		return float64(eng.CompactStats().MemBytes)
+	})
+	reg.GaugeFunc("tir_tombstones", "Pending logical deletions.", func() float64 {
+		return float64(eng.CompactStats().Tombstones)
+	})
+	reg.CounterFunc("tir_compactions_total", "Completed compactions.", func() float64 {
+		return float64(eng.CompactStats().Compactions)
+	})
+	reg.CounterFunc("tir_compaction_seconds_total", "Wall time spent compacting.", func() float64 {
+		return eng.CompactStats().TotalDuration.Seconds()
+	})
+	reg.CounterFunc("tir_compaction_dropped_total", "Tombstoned objects physically dropped by compaction.", func() float64 {
+		return float64(eng.CompactStats().TotalDropped)
+	})
+	reg.CounterFunc("tir_compaction_merged_total", "Memtable objects folded into the base by compaction.", func() float64 {
+		return float64(eng.CompactStats().TotalMerged)
+	})
+	reg.CounterFunc("tir_compaction_reclaimed_bytes_total", "Estimated bytes reclaimed by compaction.", func() float64 {
+		return float64(eng.CompactStats().ReclaimedBytes)
+	})
+	reg.CounterFunc("tir_exec_maps_total", "Worker-pool fan-out invocations.", func() float64 {
+		return float64(eng.PoolStats().Maps)
+	})
+	reg.CounterFunc("tir_exec_items_total", "Work items fanned across the pool.", func() float64 {
+		return float64(eng.PoolStats().Items)
+	})
+	reg.CounterFunc("tir_exec_helpers_total", "Helper goroutines borrowed by fan-outs.", func() float64 {
+		return float64(eng.PoolStats().Helpers)
+	})
 }
 
 // acquire claims an in-flight slot, reporting false when the server is
 // saturated. release must be called iff acquire returned true.
 func (s *Server) acquire() bool {
 	if s.inflight == nil {
+		s.admAccepted.Inc()
 		return true
 	}
 	select {
 	case s.inflight <- struct{}{}:
+		s.admAccepted.Inc()
+		s.inflightG.Add(1)
 		return true
 	default:
+		s.admRejected.Inc()
 		return false
 	}
 }
@@ -100,6 +225,7 @@ func (s *Server) acquire() bool {
 func (s *Server) release() {
 	if s.inflight != nil {
 		<-s.inflight
+		s.inflightG.Add(-1)
 	}
 }
 
@@ -118,12 +244,21 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 }
 
 // searchFailure maps an evaluation error to a response.
-func searchFailure(w http.ResponseWriter, err error) {
+func (s *Server) searchFailure(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
+		s.admTimeout.Inc()
 		writeError(w, http.StatusGatewayTimeout, "query timed out")
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "query aborted: %v", err)
+}
+
+// finishQuery records one served query: the per-method counter and
+// latency histogram, plus the finished trace (offered to the slow log).
+func (s *Server) finishQuery(m queryMetrics, tr *obs.Trace, t0 time.Time) {
+	m.count.Inc()
+	m.seconds.Observe(time.Since(t0).Seconds())
+	s.obs.FinishTrace(tr)
 }
 
 // ServeHTTP implements http.Handler.
@@ -155,28 +290,47 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleSearch answers GET /search?start=S&end=E&q=TERMS[&k=K].
-// q is free text, tokenized and normalized like inserted documents.
-// Without k the full containment result is returned; with k the top-k
-// ranked results with scores.
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// parseQueryRange extracts and validates start, end and q from a search
+// or timeline request, writing the 400 response itself on failure.
+// start > end is rejected here — the same validation POST bodies get —
+// instead of silently canonicalizing the reversed interval.
+func parseQueryRange(w http.ResponseWriter, r *http.Request) (start, end temporalir.Timestamp, terms []string, ok bool) {
 	start, err := parseTS(r.URL.Query().Get("start"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad start: %v", err)
-		return
+		return 0, 0, nil, false
 	}
-	end, err := parseTS(r.URL.Query().Get("end"))
+	end, err = parseTS(r.URL.Query().Get("end"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad end: %v", err)
-		return
+		return 0, 0, nil, false
 	}
-	terms := textutil.Tokenize(r.URL.Query().Get("q"), textutil.Options{})
+	if start > end {
+		writeError(w, http.StatusBadRequest, "start %d > end %d", start, end)
+		return 0, 0, nil, false
+	}
+	terms = textutil.Tokenize(r.URL.Query().Get("q"), textutil.Options{})
 	if len(terms) == 0 {
 		writeError(w, http.StatusBadRequest, "q must contain at least one indexable term")
+		return 0, 0, nil, false
+	}
+	return start, end, terms, true
+}
+
+// handleSearch answers GET /search?start=S&end=E&q=TERMS[&k=K].
+// q is free text, tokenized and normalized like inserted documents.
+// Without k the full containment result is returned; with k the top-k
+// ranked results with scores. Both paths run under the request deadline:
+// the ranked path goes through SearchTopKCtx, so a ranking that outlives
+// the timeout answers 504 instead of holding the connection.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start, end, terms, ok := parseQueryRange(w, r)
+	if !ok {
 		return
 	}
 	var k int
 	if kRaw := r.URL.Query().Get("k"); kRaw != "" {
+		var err error
 		k, err = strconv.Atoi(kRaw)
 		if err != nil || k < 1 {
 			writeError(w, http.StatusBadRequest, "bad k: %q", kRaw)
@@ -192,22 +346,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var hits []searchHit
 	if k > 0 {
-		if err := ctx.Err(); err != nil {
-			searchFailure(w, err)
+		tr := s.obs.StartTrace("search_topk")
+		tr.SetShape(fmt.Sprintf("terms=%d k=%d", len(terms), k))
+		t0 := time.Now()
+		res, err := s.engine.SearchTopKCtx(obs.ContextWithTrace(ctx, tr), start, end, k, terms...)
+		s.finishQuery(s.metTopK, tr, t0)
+		if err != nil {
+			s.searchFailure(w, err)
 			return
 		}
-		for _, res := range s.engine.SearchTopK(start, end, k, terms...) {
-			score := res.Score
-			hits = append(hits, searchHit{ID: res.ID, Score: &score})
+		for _, r := range res {
+			score := r.Score
+			hits = append(hits, searchHit{ID: r.ID, Score: &score})
 		}
 	} else {
-		ids, err := s.engine.SearchCtx(ctx, start, end, terms...)
+		tr := s.obs.StartTrace("search")
+		tr.SetShape(fmt.Sprintf("terms=%d", len(terms)))
+		t0 := time.Now()
+		ids, err := s.engine.SearchCtx(obs.ContextWithTrace(ctx, tr), start, end, terms...)
+		s.finishQuery(s.metSearch, tr, t0)
 		if err != nil {
-			searchFailure(w, err)
+			s.searchFailure(w, err)
 			return
 		}
 		for _, id := range ids {
@@ -266,16 +427,24 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 
-	s.mu.RLock()
-	results := s.engine.SearchTermsBatchCtx(ctx, req.Start, req.End, termRows)
-	s.mu.RUnlock()
+	tr := s.obs.StartTrace("search_batch")
+	tr.SetShape(fmt.Sprintf("queries=%d", len(termRows)))
+	s.batchSize.Observe(float64(len(termRows)))
+	t0 := time.Now()
+	results := s.engine.SearchTermsBatchCtx(obs.ContextWithTrace(ctx, tr), req.Start, req.End, termRows)
+	s.finishQuery(s.metBatch, tr, t0)
 	rows := make([]batchRow, len(results))
+	timedOut := false
 	for i, res := range results {
 		if res.Err != nil {
 			rows[i] = batchRow{Error: res.Err.Error()}
+			timedOut = timedOut || errors.Is(res.Err, context.DeadlineExceeded)
 			continue
 		}
 		rows[i] = batchRow{Hits: res.IDs}
+	}
+	if timedOut {
+		s.admTimeout.Inc()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "results": rows})
 }
@@ -299,10 +468,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no indexable terms")
 		return
 	}
-	s.mu.Lock()
+	// No server-level lock: Insert serializes on the engine's dictionary
+	// and store mutexes, and RefreshScorer publishes a new generation
+	// atomically. Two concurrent inserts interleave their scorer
+	// refreshes last-write-wins, which both leave consistent.
 	id := s.engine.Insert(in.Start, in.End, terms...)
 	s.engine.RefreshScorer()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
 }
 
@@ -313,9 +484,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.RLock()
 	iv, terms, err := s.engine.Object(id)
-	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -330,10 +499,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	err = s.engine.Delete(id)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.engine.Delete(id); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -341,47 +507,70 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTimeline answers GET /timeline?start=S&end=E&q=TERMS&buckets=N:
-// a temporal histogram of the matching objects.
+// a temporal histogram of the matching objects. Timelines scan every
+// match, so the endpoint sits behind the same admission control and
+// deadline as /search — it previously bypassed both, letting histogram
+// traffic evade the in-flight cap entirely.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	start, err := parseTS(r.URL.Query().Get("start"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad start: %v", err)
-		return
-	}
-	end, err := parseTS(r.URL.Query().Get("end"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad end: %v", err)
-		return
-	}
-	terms := textutil.Tokenize(r.URL.Query().Get("q"), textutil.Options{})
-	if len(terms) == 0 {
-		writeError(w, http.StatusBadRequest, "q must contain at least one indexable term")
+	start, end, terms, ok := parseQueryRange(w, r)
+	if !ok {
 		return
 	}
 	buckets := 10
 	if raw := r.URL.Query().Get("buckets"); raw != "" {
+		var err error
 		buckets, err = strconv.Atoi(raw)
 		if err != nil || buckets < 1 || buckets > 10000 {
 			writeError(w, http.StatusBadRequest, "bad buckets: %q", raw)
 			return
 		}
 	}
-	s.mu.RLock()
-	tl := s.engine.Timeline(start, end, buckets, terms...)
-	s.mu.RUnlock()
+	if !s.acquire() {
+		overloaded(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+
+	tr := s.obs.StartTrace("timeline")
+	tr.SetShape(fmt.Sprintf("terms=%d buckets=%d", len(terms), buckets))
+	t0 := time.Now()
+	tl, err := s.engine.TimelineCtx(obs.ContextWithTrace(ctx, tr), start, end, buckets, terms...)
+	s.finishQuery(s.metTimeline, tr, t0)
+	if err != nil {
+		s.searchFailure(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"buckets": tl})
 }
 
 // handleStats answers GET /stats, including the generational compaction
 // state (epoch, memtable, tombstones, compaction history).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"method":     string(s.engine.Method()),
 		"objects":    s.engine.Len(),
 		"size_bytes": s.engine.SizeBytes(),
 		"compaction": s.engine.CompactStats(),
+		"pool":       s.engine.PoolStats(),
+	})
+}
+
+// handleMetrics answers GET /metrics in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.Registry().WritePrometheus(w)
+}
+
+// handleSlow answers GET /debug/slow: the slow-query ring, newest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	slow := s.obs.Slow()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": slow.Threshold().Nanoseconds(),
+		"total":        slow.Total(),
+		"entries":      slow.Snapshot(),
 	})
 }
 
@@ -390,12 +579,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // flight answers 409 with the current stats; the request context bounds
 // the rebuild (a canceled request leaves the old generation intact).
 // Searches keep running against the previous generation throughout, so
-// the endpoint never degrades read availability.
+// the endpoint never degrades read availability. The request context
+// carries a trace, so compaction phases land in the slow log like any
+// other slow operation.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	eng := s.engine
-	s.mu.RUnlock()
-	st, err := eng.Compact(r.Context())
+	tr := s.obs.StartTrace("compact")
+	st, err := s.engine.Compact(obs.ContextWithTrace(r.Context(), tr))
+	s.obs.FinishTrace(tr)
 	switch {
 	case errors.Is(err, temporalir.ErrCompactionRunning):
 		writeJSON(w, http.StatusConflict, map[string]any{

@@ -5,6 +5,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/hint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -108,38 +109,25 @@ func (ix *BinaryIndex) M() int { return ix.m }
 // Query implements Algorithm 3.
 func (ix *BinaryIndex) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnly(q.Interval)
+		return ix.queryTemporalOnly(q)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	// Lines 1-3: the initial candidates from a plain HINT range query.
-	cands := ix.hints[first].RangeQuery(q.Interval, nil)
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		// Line 5: sort C by id so membership probes are binary searches.
-		model.SortIDs(cands)
-		// Lines 7-29: traverse H[e] with the temporal flags, keeping the
-		// candidates found in qualifying divisions.
-		cands = ix.hints[e].RangeQueryFiltered(q.Interval, func(id model.ObjectID) bool {
-			return postings.ContainsSorted(cands, id)
-		}, nil)
-	}
-	return cands
+	// Lines 1-3: the initial candidates from a plain HINT range query;
+	// lines 4-29: the candidate probes (probeRest owns the stage spans).
+	cands := ix.hints[first].TracedRangeQuery(q.Interval, q.Trace, nil)
+	return ix.probeRest(q, plan, cands, nil)
 }
 
-func (ix *BinaryIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {
+func (ix *BinaryIndex) queryTemporalOnly(q model.Query) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	var out []model.ObjectID
 	for _, h := range ix.hints {
 		if h != nil {
-			out = h.RangeQuery(q, out)
+			out = h.RangeQuery(q.Interval, out)
 		}
 	}
 	model.SortIDs(out)

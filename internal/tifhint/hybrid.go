@@ -6,6 +6,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/domain"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -171,47 +172,26 @@ func (ix *HybridIndex) NumSlices() int { return ix.numSlices }
 // de-duplication for the rest.
 func (ix *HybridIndex) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnly(q.Interval)
+		return ix.queryTemporalOnly(q)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	cands := ix.hints[first].rangeQuery(q.Interval, nil)
-	model.SortIDs(cands)
+	cands := ix.hints[first].seed(q, nil)
 	if len(plan) == 1 {
 		return cands
 	}
-	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
-	keep := make([]bool, len(cands))
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		for i := range keep {
-			keep[i] = false
-		}
-		// Candidates already overlap the query; any live replica proves
-		// membership, and the keep-mask is idempotent, so replicated
-		// matches are harmless.
-		for s := sf; s <= sl; s++ {
-			markSlice(ix.slices[e][s], cands, keep)
-		}
-		cands = compact(cands, keep)
-		keep = keep[:len(cands)]
-	}
-	return cands
+	return ix.intersectSlices(q, plan, cands, nil)
 }
 
-func (ix *HybridIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {
+func (ix *HybridIndex) queryTemporalOnly(q model.Query) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	var out []model.ObjectID
 	for _, h := range ix.hints {
 		if h != nil {
-			out = h.rangeQuery(q, out)
+			out = h.rangeQuery(q.Interval, out)
 		}
 	}
 	model.SortIDs(out)

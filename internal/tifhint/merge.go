@@ -4,6 +4,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/domain"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/postings"
 )
 
@@ -96,39 +97,26 @@ func (ix *MergeIndex) M() int { return ix.m }
 // Query implements Algorithm 4.
 func (ix *MergeIndex) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnly(q.Interval)
+		return ix.queryTemporalOnly(q)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	// Line 3: range query for the initial candidates; line 5: id order.
-	cands := ix.hints[first].rangeQuery(q.Interval, nil)
-	model.SortIDs(cands)
-	var keep []bool
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		// Lines 6-11: per-division merge intersections; no temporal
-		// checks, no compfirst/complast bookkeeping.
-		if cap(keep) < len(cands) {
-			keep = make([]bool, len(cands))
-		}
-		cands = ix.hints[e].intersect(q.Interval, cands, keep[:len(cands)])
-	}
-	return cands
+	// Line 3: range query for the initial candidates (seed also sorts
+	// by id, line 5); lines 6-11: per-division merge intersections —
+	// both helpers own their stage spans.
+	cands := ix.hints[first].seed(q, nil)
+	return ix.intersectRest(q, plan, cands, nil)
 }
 
-func (ix *MergeIndex) queryTemporalOnly(q model.Interval) []model.ObjectID {
+func (ix *MergeIndex) queryTemporalOnly(q model.Query) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	var out []model.ObjectID
 	for _, h := range ix.hints {
 		if h != nil {
-			out = h.rangeQuery(q, out)
+			out = h.rangeQuery(q.Interval, out)
 		}
 	}
 	model.SortIDs(out)

@@ -5,7 +5,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/hint"
 	"repro/internal/model"
-	"repro/internal/postings"
+	"repro/internal/obs"
 )
 
 // Parallel query paths for the three tIF+HINT composites. Each QueryP
@@ -125,36 +125,24 @@ func (ix *BinaryIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 		return ix.Query(q)
 	}
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnlyP(q.Interval, pool)
+		return ix.queryTemporalOnlyP(q, pool)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	cands := ix.hints[first].RangeQueryParallel(q.Interval, pool, nil)
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		model.SortIDs(cands)
-		sorted := cands
-		cands = ix.hints[e].RangeQueryFilteredParallel(q.Interval, func(id model.ObjectID) bool {
-			return postings.ContainsSorted(sorted, id)
-		}, pool, nil)
-	}
-	return cands
+	cands := ix.hints[first].TracedRangeQueryParallel(q.Interval, pool, q.Trace, nil)
+	return ix.probeRest(q, plan, cands, pool)
 }
 
-func (ix *BinaryIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+func (ix *BinaryIndex) queryTemporalOnlyP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var buf []model.ObjectID
 		for _, h := range ix.hints[lo:hi] {
 			if h != nil {
-				buf = h.RangeQuery(q, buf)
+				buf = h.RangeQuery(q.Interval, buf)
 			}
 		}
 		return buf
@@ -174,37 +162,24 @@ func (ix *MergeIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 		return ix.Query(q)
 	}
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnlyP(q.Interval, pool)
+		return ix.queryTemporalOnlyP(q, pool)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	cands := ix.hints[first].rangeQueryParallel(q.Interval, pool, nil)
-	model.SortIDs(cands)
-	var keep []bool
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		if cap(keep) < len(cands) {
-			keep = make([]bool, len(cands))
-		}
-		cands = ix.hints[e].intersectParallel(q.Interval, cands, keep[:len(cands)], pool)
-	}
-	return cands
+	cands := ix.hints[first].seed(q, pool)
+	return ix.intersectRest(q, plan, cands, pool)
 }
 
-func (ix *MergeIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+func (ix *MergeIndex) queryTemporalOnlyP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var buf []model.ObjectID
 		for _, h := range ix.hints[lo:hi] {
 			if h != nil {
-				buf = h.rangeQuery(q, buf)
+				buf = h.rangeQuery(q.Interval, buf)
 			}
 		}
 		return buf
@@ -225,55 +200,18 @@ func (ix *HybridIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 		return ix.Query(q)
 	}
 	if len(q.Elems) == 0 {
-		return ix.queryTemporalOnlyP(q.Interval, pool)
+		return ix.queryTemporalOnlyP(q, pool)
 	}
 	plan := dict.PlanOrder(q.Elems, ix.freqs)
 	first := plan[0]
 	if int(first) >= len(ix.hints) || ix.hints[first] == nil {
 		return nil
 	}
-	cands := ix.hints[first].rangeQueryParallel(q.Interval, pool, nil)
-	model.SortIDs(cands)
+	cands := ix.hints[first].seed(q, pool)
 	if len(plan) == 1 {
 		return cands
 	}
-	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
-	keep := make([]bool, len(cands))
-	for _, e := range plan[1:] {
-		if len(cands) == 0 {
-			return nil
-		}
-		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
-			return nil
-		}
-		subs := ix.slices[e][sf : sl+1]
-		for i := range keep {
-			keep[i] = false
-		}
-		if len(subs) < parallelCutoff {
-			for _, sub := range subs {
-				markSlice(sub, cands, keep)
-			}
-		} else {
-			masks := exec.MapChunks(pool, len(subs), parallelMinPer, func(lo, hi int) []bool {
-				mask := make([]bool, len(cands))
-				for _, sub := range subs[lo:hi] {
-					markSlice(sub, cands, mask)
-				}
-				return mask
-			})
-			for _, mask := range masks {
-				for i, k := range mask {
-					if k {
-						keep[i] = true
-					}
-				}
-			}
-		}
-		cands = compact(cands, keep)
-		keep = keep[:len(cands)]
-	}
-	return cands
+	return ix.intersectSlices(q, plan, cands, pool)
 }
 
 // markSlice is the per-slice merge of HybridIndex.Query, factored out so
@@ -296,12 +234,13 @@ func markSlice(sub []slicePair, cands []model.ObjectID, keep []bool) {
 	}
 }
 
-func (ix *HybridIndex) queryTemporalOnlyP(q model.Interval, pool *exec.Pool) []model.ObjectID {
+func (ix *HybridIndex) queryTemporalOnlyP(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
 	partials := exec.MapChunks(pool, len(ix.hints), parallelMinPer, func(lo, hi int) []model.ObjectID {
 		var buf []model.ObjectID
 		for _, h := range ix.hints[lo:hi] {
 			if h != nil {
-				buf = h.rangeQuery(q, buf)
+				buf = h.rangeQuery(q.Interval, buf)
 			}
 		}
 		return buf

@@ -1,0 +1,133 @@
+package tifhint
+
+import (
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/postings"
+)
+
+// Stage instrumentation for the three composites. Each helper owns one
+// deferred span on q.Trace (nil = disabled, one branch of cost), so
+// the serial and parallel query paths share identical stage
+// boundaries: StagePostings around the first-element seed fetch,
+// StageIntersect around the candidate-pruning passes over the
+// remaining plan elements.
+
+// seed runs the first-element postings fetch plus the id sort the
+// merge intersections rely on, under one postings span. A non-nil pool
+// fans the partition scans.
+func (h *idHint) seed(q model.Query, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StagePostings).End()
+	var cands []model.ObjectID
+	if pool != nil {
+		cands = h.rangeQueryParallel(q.Interval, pool, nil)
+	} else {
+		cands = h.rangeQuery(q.Interval, nil)
+	}
+	model.SortIDs(cands)
+	return cands
+}
+
+// probeRest is Algorithm 3 lines 4-29 for the binary variant: each
+// further plan element traverses its HINT probing the id-sorted
+// candidate set, under one intersection span. A non-nil pool fans each
+// probe pass.
+func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StageIntersect).End()
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		// Line 5: sort C by id so membership probes are binary searches.
+		model.SortIDs(cands)
+		sorted := cands
+		pred := func(id model.ObjectID) bool {
+			return postings.ContainsSorted(sorted, id)
+		}
+		// Lines 7-29: traverse H[e] with the temporal flags, keeping the
+		// candidates found in qualifying divisions.
+		if pool != nil {
+			cands = ix.hints[e].RangeQueryFilteredParallel(q.Interval, pred, pool, nil)
+		} else {
+			cands = ix.hints[e].RangeQueryFiltered(q.Interval, pred, nil)
+		}
+	}
+	return cands
+}
+
+// intersectRest is Algorithm 4 lines 6-11 for the merge variant: each
+// further plan element runs per-division merge intersections, under
+// one intersection span.
+func (ix *MergeIndex) intersectRest(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StageIntersect).End()
+	var keep []bool
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		if cap(keep) < len(cands) {
+			keep = make([]bool, len(cands))
+		}
+		if pool != nil {
+			cands = ix.hints[e].intersectParallel(q.Interval, cands, keep[:len(cands)], pool)
+		} else {
+			cands = ix.hints[e].intersect(q.Interval, cands, keep[:len(cands)])
+		}
+	}
+	return cands
+}
+
+// intersectSlices is the hybrid variant's sliced merge intersection
+// over the remaining plan elements, under one intersection span. A
+// non-nil pool fans wide slice ranges, OR-ing the per-chunk keep masks
+// (idempotent, so chunk order is irrelevant).
+func (ix *HybridIndex) intersectSlices(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
+	defer q.Trace.StartStage(obs.StageIntersect).End()
+	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
+	keep := make([]bool, len(cands))
+	for _, e := range plan[1:] {
+		if len(cands) == 0 {
+			return nil
+		}
+		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
+			return nil
+		}
+		subs := ix.slices[e][sf : sl+1]
+		for i := range keep {
+			keep[i] = false
+		}
+		// Candidates already overlap the query; any live replica proves
+		// membership, and the keep-mask is idempotent, so replicated
+		// matches are harmless.
+		if pool == nil || len(subs) < parallelCutoff {
+			for _, sub := range subs {
+				markSlice(sub, cands, keep)
+			}
+		} else {
+			masks := exec.MapChunks(pool, len(subs), parallelMinPer, func(lo, hi int) []bool {
+				mask := make([]bool, len(cands))
+				for _, sub := range subs[lo:hi] {
+					markSlice(sub, cands, mask)
+				}
+				return mask
+			})
+			for _, mask := range masks {
+				for i, k := range mask {
+					if k {
+						keep[i] = true
+					}
+				}
+			}
+		}
+		cands = compact(cands, keep)
+		keep = keep[:len(cands)]
+	}
+	return cands
+}

@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerAliasMutation(),
 		AnalyzerDomainBounds(),
 		AnalyzerMethodExhaustiveness(),
+		AnalyzerSpanEnd(),
 	}
 }
 

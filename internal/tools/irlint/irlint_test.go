@@ -73,6 +73,26 @@ func (d Domain) Prefix(level int, v uint32) uint32 { return v }
 func (d Domain) PartitionExtent(level int, j uint32) (lo, hi uint32) { return 0, 0 }
 `
 
+// obsStub stands in for repro/internal/obs: the trace recorder whose
+// StartStage spans the span-end analyzer keeps deferred.
+const obsStub = `package obs
+
+type Stage uint8
+
+const (
+	StagePlan Stage = iota
+	StagePostings
+)
+
+type Trace struct{}
+
+type StageTimer struct{}
+
+func (t *Trace) StartStage(s Stage) StageTimer { return StageTimer{} }
+
+func (st StageTimer) End() {}
+`
+
 // reproStub stands in for the root package with a three-method universe,
 // so method-exhaustiveness fixtures stay readable.
 const reproStub = `package temporalir
@@ -93,6 +113,7 @@ var fixtureStubs = []struct{ path, name, src string }{
 	{postingsPath, "postings.go", postingsStub},
 	{tifPath, "tif.go", tifStub},
 	{domainPath, "domain.go", domainStub},
+	{obsPath, "obs.go", obsStub},
 	{ModulePath, "repro.go", reproStub},
 }
 
@@ -1030,6 +1051,112 @@ func dispatch(m temporalir.Method) int {
 	default:
 		return 0
 	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "deferred span conforms",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func good(tr *obs.Trace) {
+	defer tr.StartStage(obs.StagePlan).End()
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "assigned span timer flagged",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func bad(tr *obs.Trace) {
+	st := tr.StartStage(obs.StagePlan)
+	st.End()
+}
+`,
+			want:     1,
+			contains: []string{"defer tr.StartStage(s).End()"},
+		},
+		{
+			name:     "dropped span timer flagged",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func bad(tr *obs.Trace) {
+	tr.StartStage(obs.StagePostings)
+}
+`,
+			want:     1,
+			contains: []string{"not closed by an immediate defer"},
+		},
+		{
+			name:     "non-deferred immediate end flagged",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func bad(tr *obs.Trace) {
+	tr.StartStage(obs.StagePlan).End()
+}
+`,
+			want: 1,
+		},
+		{
+			name:     "deferred end through a named timer flagged",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func bad(tr *obs.Trace) {
+	st := tr.StartStage(obs.StagePlan)
+	defer st.End()
+}
+`,
+			want: 1,
+		},
+		{
+			name:     "span escape hatch honored",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+import "repro/internal/obs"
+
+func exempt(tr *obs.Trace) {
+	// lint:span-ok timer handed to a helper that always Ends it
+	st := tr.StartStage(obs.StagePlan)
+	st.End()
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "unrelated StartStage method ignored",
+			analyzer: "span-end",
+			path:     ModulePath + "/internal/fix",
+			src: `package fix
+
+type machine struct{}
+
+func (m *machine) StartStage(s int) int { return s }
+
+func fine(m *machine) {
+	_ = m.StartStage(1)
 }
 `,
 			want: 0,
