@@ -12,8 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-wide suite, then the explicit self-lint pass: the linter (and its
+# flow substrate) must stay clean under its own analyzers.
 lint:
 	$(GO) run ./cmd/irlint ./...
+	$(GO) run ./cmd/irlint ./internal/tools/irlint/...
 
 test:
 	$(GO) test ./...
@@ -26,12 +29,14 @@ invariants:
 
 # Deterministic perf snapshots: fixed seed and workload, written as JSON
 # for the perf trajectory (per-method latency/size, the tombstone-load
-# before/after-compaction series, then the observability overhead +
-# per-stage breakdown).
+# before/after-compaction series, the observability overhead + per-stage
+# breakdown, then the post-lint-sweep snapshot confirming the v3
+# annotation/ctx fixes did not regress qps).
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
 	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr5.json
+	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr6.json
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

@@ -93,7 +93,12 @@ func newEngine(d *dict.Dictionary, coll *Collection, m Method, opts Options) (*E
 	if err != nil {
 		return nil, err
 	}
-	build := func(c *model.Collection) (maint.Index, error) {
+	build := func(ctx context.Context, c *model.Collection) (maint.Index, error) {
+		// Index construction itself is not interruptible, so honor a
+		// cancellation that arrived before the rebuild started.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return NewIndex(m, c, opts)
 	}
 	return &Engine{

@@ -128,6 +128,7 @@ func (e *Engine) SearchCtx(ctx context.Context, start, end Timestamp, terms ...s
 	}
 	tr := obs.TraceFromContext(ctx)
 	done := make(chan []ObjectID, 1)
+	// irlint:goroutine-exits send into the cap-1 buffer never blocks, so the goroutine exits when the scan completes even if ctx fired and the result is abandoned
 	go func() { done <- e.searchTraced(tr, start, end, terms) }()
 	select {
 	case ids := <-done:
@@ -147,6 +148,7 @@ func (e *Engine) SearchTopKCtx(ctx context.Context, start, end Timestamp, k int,
 	}
 	tr := obs.TraceFromContext(ctx)
 	done := make(chan []ScoredResult, 1)
+	// irlint:goroutine-exits send into the cap-1 buffer never blocks, so the goroutine exits when ranking completes even if ctx fired and the result is abandoned
 	go func() { done <- e.searchTopKTraced(tr, start, end, k, terms) }()
 	select {
 	case res := <-done:
@@ -164,6 +166,7 @@ func (e *Engine) TimelineCtx(ctx context.Context, start, end Timestamp, buckets 
 	}
 	tr := obs.TraceFromContext(ctx)
 	done := make(chan []TimelineBucket, 1)
+	// irlint:goroutine-exits send into the cap-1 buffer never blocks, so the goroutine exits when bucketing completes even if ctx fired and the result is abandoned
 	go func() { done <- e.timelineTraced(tr, start, end, buckets, terms) }()
 	select {
 	case res := <-done:
@@ -178,6 +181,7 @@ func (e *Engine) TimelineCtx(ctx context.Context, start, end Timestamp, buckets 
 // convenience over SearchBatch. Rows with unknown terms resolve to empty
 // results, matching Search.
 func (e *Engine) SearchTermsBatch(start, end Timestamp, termRows [][]string) []Result {
+	// irlint:ctx-root deliberately ctx-less convenience surface; callers who need deadlines use SearchTermsBatchCtx
 	return e.SearchTermsBatchCtx(context.Background(), start, end, termRows)
 }
 

@@ -158,6 +158,7 @@ func RunTombstone(cfg Config) {
 
 		sizeBefore := e.SizeBytes()
 		start := time.Now()
+		// irlint:ctx-root benchmark driver owns the process lifetime; there is no caller context to inherit
 		cs, err := e.Compact(context.Background())
 		if err != nil {
 			panic(err) // lint:panic-ok foreground compact of an idle engine cannot fail

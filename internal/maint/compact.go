@@ -65,7 +65,7 @@ func (s *Store) runCompact(ctx context.Context) error {
 
 	newColl := &model.Collection{Objects: survivors, DictSize: g0.coll.DictSize}
 	t1 := time.Now()
-	base, err := s.buildBase(newColl, tr)
+	base, err := s.buildBase(ctx, newColl, tr)
 	ph.buildDur = time.Since(t1)
 	if err != nil {
 		return err
@@ -100,10 +100,16 @@ func copySurvivors(g0 *Generation, tr *obs.Trace) (survivors []model.Object, ext
 	return survivors, ext, reclaimed
 }
 
-// buildBase is compaction phase 1b: the off-lock index rebuild.
-func (s *Store) buildBase(c *model.Collection, tr *obs.Trace) (Index, error) {
+// buildBase is compaction phase 1b: the off-lock index rebuild. The
+// rebuild is the expensive half of compaction, so cancellation is
+// re-checked here — after the survivor copy — and the context is handed
+// to the BuildFunc so cooperative builders can stop mid-build too.
+func (s *Store) buildBase(ctx context.Context, c *model.Collection, tr *obs.Trace) (Index, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	defer tr.StartStage(obs.StageCompactBuild).End()
-	return s.build(c)
+	return s.build(ctx, c)
 }
 
 // swapCompacted is compaction phase 2: under the writer mutex, fold in

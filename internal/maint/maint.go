@@ -21,6 +21,7 @@
 package maint
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/model"
@@ -41,7 +42,11 @@ type Index interface {
 // BuildFunc rebuilds the configured index method over a compacted
 // collection. It runs off the read path (no locks held) and must not
 // retain or mutate the collection beyond what index construction needs.
-type BuildFunc func(c *model.Collection) (Index, error)
+// The context is the compaction's: implementations should return
+// ctx.Err() instead of starting an expensive build once it is done, so
+// a canceled foreground Compact stops before the rebuild rather than
+// after it.
+type BuildFunc func(ctx context.Context, c *model.Collection) (Index, error)
 
 // ErrCompactionRunning is returned by Compact when another compaction
 // (manual or policy-triggered) is already in flight.

@@ -18,7 +18,7 @@ var testPool = exec.NewPool(4)
 
 // tifBuild is the BuildFunc the tests use: the base temporal inverted
 // file, the simplest member of the index family.
-func tifBuild(c *model.Collection) (Index, error) { return tif.New(c), nil }
+func tifBuild(_ context.Context, c *model.Collection) (Index, error) { return tif.New(c), nil }
 
 // seedCollection builds n objects: object i lives [i, i+10] and carries
 // element i%4 (plus element 0 on even ids).
@@ -219,10 +219,38 @@ func TestCompactContextCanceled(t *testing.T) {
 	}
 }
 
+// TestCompactBuildReceivesContext pins the ctx-flow fix from the v3 lint
+// sweep: the BuildFunc gets the compaction's own context (not a detached
+// Background), so a cancellation that lands mid-compaction reaches the
+// rebuild. The build cancels the caller's ctx and returns the error of
+// the ctx it received — if the store handed it a detached context, that
+// error would be nil, the compaction would "succeed", and the swap would
+// go through.
+func TestCompactBuildReceivesContext(t *testing.T) {
+	c := seedCollection(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	build := func(bctx context.Context, _ *model.Collection) (Index, error) {
+		cancel()
+		return nil, bctx.Err()
+	}
+	s := NewStore(c, tif.New(c), build)
+	s.Delete(0)
+	g0 := s.Snapshot()
+	if _, err := s.Compact(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compact err = %v, want context.Canceled threaded through BuildFunc", err)
+	}
+	if s.Snapshot() != g0 {
+		t.Fatal("canceled compact mutated the published generation")
+	}
+	if st := s.Stats(); st.InProgress {
+		t.Fatal("compacting latch stuck after canceled build")
+	}
+}
+
 func TestCompactBuildError(t *testing.T) {
 	c := seedCollection(10)
 	boom := errors.New("boom")
-	s := NewStore(c, tif.New(c), func(*model.Collection) (Index, error) { return nil, boom })
+	s := NewStore(c, tif.New(c), func(context.Context, *model.Collection) (Index, error) { return nil, boom })
 	s.Delete(0)
 	g0 := s.Snapshot()
 	if _, err := s.Compact(context.Background()); !errors.Is(err, boom) {
@@ -243,7 +271,7 @@ func TestWritesDuringCompaction(t *testing.T) {
 	c := seedCollection(30)
 	enter := make(chan struct{})
 	release := make(chan struct{})
-	build := func(cc *model.Collection) (Index, error) {
+	build := func(_ context.Context, cc *model.Collection) (Index, error) {
 		close(enter)
 		<-release
 		return tif.New(cc), nil
@@ -377,7 +405,7 @@ func TestInternalExternalRoundTrip(t *testing.T) {
 
 func TestParallelQueryAgrees(t *testing.T) {
 	c := seedCollection(60)
-	s := NewStore(c, tifhint.NewBinary(c), func(cc *model.Collection) (Index, error) { return tifhint.NewBinary(cc), nil })
+	s := NewStore(c, tifhint.NewBinary(c), func(_ context.Context, cc *model.Collection) (Index, error) { return tifhint.NewBinary(cc), nil })
 	for id := model.ObjectID(0); id < 60; id += 5 {
 		s.Delete(id)
 	}

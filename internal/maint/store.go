@@ -233,8 +233,10 @@ func (s *Store) tryBackgroundCompact() {
 	if !s.compacting.CompareAndSwap(false, true) {
 		return
 	}
+	// irlint:goroutine-exits single-flight: runCompact always returns (no unbounded waits) and the deferred CAS-reset reopens the gate; process exit is the only abandonment
 	go func() {
 		defer s.compacting.Store(false)
+		// irlint:ctx-root background compaction outlives the Append that triggered it; the cancelable path is the foreground Compact(ctx)
 		_ = s.runCompact(context.Background())
 	}()
 }

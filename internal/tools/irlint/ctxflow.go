@@ -1,0 +1,131 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// ctxRootDirective marks a deliberate context root: a site where a fresh
+// context.Background()/TODO() is the right thing (process-lifetime
+// background work, benchmark drivers). The annotation must state why.
+const ctxRootDirective = "irlint:ctx-root"
+
+// AnalyzerCtxFlow enforces the deadline-propagation contract: contexts
+// flow from the edge (main, a request handler) down through every call
+// that accepts one. Two shapes are flagged:
+//
+//  1. A function that already receives a context.Context but passes
+//     context.Background()/TODO() to a callee — the caller's deadline and
+//     cancellation are silently dropped on that path.
+//  2. Any context.Background()/TODO() call outside a main package — a new
+//     context root in library code detaches everything below it from the
+//     caller's lifetime. Legitimate roots (a background compactor, a
+//     benchmark harness) carry an `irlint:ctx-root <reason>` annotation.
+//
+// Shape 1 sites are also shape 2 sites; they are flagged once, with the
+// stronger message. Test files are not loaded, so test helpers are
+// exempt by construction.
+func AnalyzerCtxFlow() *Analyzer {
+	const name = "ctx-flow"
+	return &Analyzer{
+		Name: name,
+		Doc:  "context.Background()/TODO() only in main or at annotated irlint:ctx-root sites; ctx-receiving functions must thread their ctx",
+		RunProgram: func(pr *Program) []Diagnostic {
+			var out []Diagnostic
+			g := pr.Graph()
+			// flagged records Background/TODO sites already reported as
+			// shape 1, so the shape-2 sweep does not double-report them.
+			flagged := map[token.Pos]bool{}
+			for _, fn := range g.Funcs() {
+				p := pr.PackageOf(fn)
+				if p == nil || p.Info == nil {
+					continue
+				}
+				if !receivesCtx(fn.Obj) {
+					continue
+				}
+				f := p.fileOf(fn.Decl.Pos())
+				for _, c := range fn.Calls {
+					for _, arg := range c.Site.Args {
+						root, rootName := ctxRootCall(p.Info, arg)
+						if root == nil {
+							continue
+						}
+						flagged[root.Pos()] = true
+						if ok, reason := p.directiveReason(f, root.Pos(), ctxRootDirective); ok {
+							if reason == "" {
+								out = append(out, p.diag(name, root.Pos(),
+									"%s annotation needs a reason: state why this call must not inherit the caller's context", ctxRootDirective))
+							}
+							continue
+						}
+						out = append(out, p.diag(name, root.Pos(),
+							"%s receives a context.Context but passes context.%s() here, dropping the caller's deadline and cancellation; thread the ctx parameter instead (or annotate with // %s <reason>)",
+							fn.Obj.Name(), rootName, ctxRootDirective))
+					}
+				}
+			}
+			// Shape 2: every remaining Background/TODO call outside main.
+			for _, p := range pr.Pkgs {
+				if p.Info == nil || p.isMainPackage() {
+					continue
+				}
+				for _, f := range p.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						root, rootName := ctxRootCall(p.Info, call)
+						if root == nil || flagged[root.Pos()] {
+							return true
+						}
+						if ok, reason := p.directiveReason(f, root.Pos(), ctxRootDirective); ok {
+							if reason == "" {
+								out = append(out, p.diag(name, root.Pos(),
+									"%s annotation needs a reason: state why this call must not inherit the caller's context", ctxRootDirective))
+							}
+							return true
+						}
+						out = append(out, p.diag(name, root.Pos(),
+							"context.%s() creates a detached context root in library code; accept and thread a ctx from the caller (or annotate with // %s <reason>)",
+							rootName, ctxRootDirective))
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// receivesCtx reports whether any of the function's inputs is a
+// context.Context.
+func receivesCtx(obj *types.Func) bool {
+	for _, v := range flow.Inputs(obj) {
+		if typeIs(v.Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxRootCall returns the call expression if e is context.Background()
+// or context.TODO(), plus which of the two it is.
+func ctxRootCall(info *types.Info, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+		return nil, ""
+	}
+	if n := callee.Name(); n == "Background" || n == "TODO" {
+		return call, n
+	}
+	return nil, ""
+}

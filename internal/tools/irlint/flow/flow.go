@@ -1,0 +1,332 @@
+// Package flow is irlint's whole-program substrate: a static call graph
+// over every loaded module package, plus per-function input summaries
+// (may-mutate, may-publish, may-wait, may-done) computed as a fixpoint
+// over that graph. The v3 analyzers — ctx-flow, goroutine-exit,
+// publish-freeze, metric-hygiene — are thin clients of this package:
+// they ask "who calls whom", "does this callee write through its
+// argument", "does this helper join the WaitGroup I passed it", and the
+// substrate answers from one shared graph instead of each analyzer
+// re-deriving its own ad-hoc dataflow.
+//
+// The graph is deliberately modest: call edges are static (calls through
+// function values and interface methods resolve to the method object but
+// not to implementations), and the summaries over-approximate by
+// treating any value whose base identifier aliases an input as reachable
+// from that input. Both choices keep the substrate stdlib-only and fast;
+// LINTING.md documents the resulting blind spots per analyzer.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unit is one loaded, type-checked package presented to the graph
+// builder — a dependency-free mirror of the loader's package shape.
+type Unit struct {
+	// Path is the import path.
+	Path string
+	// Fset positions every file of the unit.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Info carries the type-checking results.
+	Info *types.Info
+	// Pkg is the checked package object.
+	Pkg *types.Package
+}
+
+// Func is one function or method declaration with a body, plus every
+// static call site inside it. Calls inside nested function literals are
+// attributed to the enclosing declaration: closures execute with the
+// declaration's captured state, so for reachability and summaries they
+// belong to it.
+type Func struct {
+	// Obj is the declared function object (the graph key).
+	Obj *types.Func
+	// Decl is the syntax, body included.
+	Decl *ast.FuncDecl
+	// Unit is the package the declaration lives in.
+	Unit *Unit
+	// Calls lists every call site in the body, in source order.
+	Calls []*Call
+}
+
+// Call is one call site inside a Func.
+type Call struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Callee is the statically resolved target: a declared function, a
+	// method (through its selection), or nil for calls through function
+	// values, built-ins and type conversions.
+	Callee *types.Func
+	// Caller is the function the site appears in.
+	Caller *Func
+}
+
+// Graph is the whole-program call graph over a set of units.
+type Graph struct {
+	funcs   map[*types.Func]*Func
+	order   []*Func
+	callers map[*types.Func][]*Call
+
+	summaries *Summaries // built lazily by Summaries()
+}
+
+// Build constructs the call graph for the given units. Units with
+// missing type information contribute no nodes.
+func Build(units []*Unit) *Graph {
+	g := &Graph{
+		funcs:   make(map[*types.Func]*Func),
+		callers: make(map[*types.Func][]*Call),
+	}
+	for _, u := range units {
+		if u.Info == nil {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fn := &Func{Obj: obj, Decl: fd, Unit: u}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn.Calls = append(fn.Calls, &Call{
+						Site:   call,
+						Callee: Callee(u.Info, call),
+						Caller: fn,
+					})
+					return true
+				})
+				g.funcs[obj] = fn
+				g.order = append(g.order, fn)
+			}
+		}
+	}
+	for _, fn := range g.order {
+		for _, c := range fn.Calls {
+			if c.Callee != nil {
+				g.callers[c.Callee] = append(g.callers[c.Callee], c)
+			}
+		}
+	}
+	return g
+}
+
+// Callee statically resolves the target of a call: a plain function, a
+// package-qualified function, or a method reached through a selection
+// (including interface methods). It returns nil for calls through
+// function-typed values, built-ins and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncOf returns the graph node for a declared function, or nil when the
+// function has no body in the program (imported, interface method).
+func (g *Graph) FuncOf(obj *types.Func) *Func {
+	if obj == nil {
+		return nil
+	}
+	return g.funcs[obj]
+}
+
+// Funcs returns every graph node in declaration order.
+func (g *Graph) Funcs() []*Func { return g.order }
+
+// Callers returns every in-program call site that statically resolves to
+// obj.
+func (g *Graph) Callers(obj *types.Func) []*Call { return g.callers[obj] }
+
+// Reachable returns the set of in-program functions reachable from the
+// given roots along static call edges, roots included.
+func (g *Graph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var stack []*Func
+	for _, r := range roots {
+		if fn := g.FuncOf(r); fn != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, fn)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range fn.Calls {
+			if c.Callee == nil || seen[c.Callee] {
+				continue
+			}
+			seen[c.Callee] = true
+			if next := g.FuncOf(c.Callee); next != nil {
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// Inputs returns a function's inputs — receiver first when present, then
+// the declared parameters — the positions the summaries index.
+func Inputs(obj *types.Func) []*types.Var {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// ArgInputs maps a call site's expressions onto the callee's input
+// positions: the receiver expression (for method calls through a
+// selection) pairs with input 0 and the arguments follow; for plain
+// function calls the arguments map one-to-one. Surplus variadic
+// arguments collapse onto the last input. The result is a parallel
+// slice of (expr, input index) pairs.
+func ArgInputs(info *types.Info, call *ast.CallExpr, callee *types.Func) []ArgInput {
+	if callee == nil {
+		return nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []ArgInput
+	base := 0
+	if sig.Recv() != nil {
+		// Method call: the receiver expression is input 0 when the call
+		// goes through a selection (x.M(...)). In the method-expression
+		// form (T.M(x, ...)) the receiver arrives as the first argument,
+		// which the plain base=0 mapping below already handles.
+		if fun, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := info.Selections[fun]; isSel {
+				out = append(out, ArgInput{Expr: fun.X, Input: 0})
+				base = 1
+			}
+		}
+	}
+	nInputs := len(Inputs(callee))
+	for i, arg := range call.Args {
+		idx := base + i
+		if idx >= nInputs {
+			idx = nInputs - 1 // variadic tail
+		}
+		if idx < 0 {
+			continue
+		}
+		out = append(out, ArgInput{Expr: arg, Input: idx})
+	}
+	return out
+}
+
+// ArgInput pairs one call-site expression with the callee input position
+// it flows into.
+type ArgInput struct {
+	Expr  ast.Expr
+	Input int
+}
+
+// BaseIdent peels selectors, indexing, dereferences, address-taking,
+// slicing and parentheses off an expression and returns the identifier
+// at its base, or nil: the variable through which the expression's
+// memory is reached. BaseIdent(&s.m[i]) == s.
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// BaseVar resolves an expression's base identifier to its variable
+// object, or nil.
+func BaseVar(info *types.Info, e ast.Expr) *types.Var {
+	id := BaseIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsNamed reports whether t (pointers unwrapped) is the named type
+// pkgPath.name. Generic instantiations (atomic.Pointer[T]) match their
+// origin name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

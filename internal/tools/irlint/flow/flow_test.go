@@ -1,0 +1,282 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildUnit type-checks one source string (package p) against the real
+// standard library and wraps it as a graph unit.
+func buildUnit(t *testing.T, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Unit{Path: "p", Fset: fset, Files: []*ast.File{f}, Info: info, Pkg: pkg}
+}
+
+// fnByName finds a graph node by its declared name.
+func fnByName(t *testing.T, g *Graph, name string) *Func {
+	t.Helper()
+	for _, fn := range g.Funcs() {
+		if fn.Obj.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %q not in graph", name)
+	return nil
+}
+
+func TestGraphCalleesAndCallers(t *testing.T) {
+	u := buildUnit(t, `package p
+
+type S struct{ n int }
+
+func (s *S) Bump() { s.n++ }
+
+func helper() {}
+
+func top(s *S) {
+	helper()
+	s.Bump()
+	f := helper
+	f() // dynamic: no static callee
+	go func() { helper() }() // closure call attributed to top
+}
+`)
+	g := Build([]*Unit{u})
+	top := fnByName(t, g, "top")
+	var names []string
+	dynamic := 0
+	for _, c := range top.Calls {
+		if c.Callee == nil {
+			dynamic++
+			continue
+		}
+		names = append(names, c.Callee.Name())
+	}
+	// helper, Bump, the closure-attributed helper; f() and the go-stmt's
+	// func-literal invocation are dynamic.
+	want := map[string]int{"helper": 2, "Bump": 1}
+	got := map[string]int{}
+	for _, n := range names {
+		got[n]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("callee %s: got %d calls, want %d (all: %v)", k, got[k], v, names)
+		}
+	}
+	if dynamic != 2 {
+		t.Errorf("dynamic call sites = %d, want 2", dynamic)
+	}
+
+	helper := fnByName(t, g, "helper")
+	if n := len(g.Callers(helper.Obj)); n != 2 {
+		t.Errorf("Callers(helper) = %d, want 2", n)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	u := buildUnit(t, `package p
+
+func a() { b() }
+func b() { c() }
+func c() {}
+func island() {}
+`)
+	g := Build([]*Unit{u})
+	a := fnByName(t, g, "a")
+	reach := g.Reachable(a.Obj)
+	for _, name := range []string{"a", "b", "c"} {
+		if !reach[fnByName(t, g, name).Obj] {
+			t.Errorf("%s not reachable from a", name)
+		}
+	}
+	if reach[fnByName(t, g, "island").Obj] {
+		t.Errorf("island wrongly reachable from a")
+	}
+}
+
+func TestSummariesDirectEffects(t *testing.T) {
+	u := buildUnit(t, `package p
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type G struct{ n int }
+type S struct{ p atomic.Pointer[G] }
+
+func mutate(g *G) { g.n = 1 }
+
+func publish(s *S, g *G) { s.p.Store(g) }
+
+func join(wg *sync.WaitGroup) { wg.Wait() }
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }
+
+func reads(g *G) int { return g.n }
+
+func appends(xs []int) { _ = append(xs, 1) }
+
+func copies(dst, src []byte) { copy(dst, src) }
+`)
+	g := Build([]*Unit{u})
+	s := g.Summaries()
+
+	cases := []struct {
+		fn    string
+		input int
+		want  InputSummary
+	}{
+		{"mutate", 0, InputSummary{Mutates: true}},
+		{"publish", 1, InputSummary{Publishes: true}},
+		{"publish", 0, InputSummary{Mutates: true}}, // Store writes the holder
+		{"join", 0, InputSummary{Waits: true}},
+		{"worker", 0, InputSummary{Dones: true}},
+		{"reads", 0, InputSummary{}},
+		{"appends", 0, InputSummary{Mutates: true}},
+		{"copies", 0, InputSummary{Mutates: true}},
+		{"copies", 1, InputSummary{}},
+	}
+	for _, c := range cases {
+		got := s.Input(fnByName(t, g, c.fn).Obj, c.input)
+		if got != c.want {
+			t.Errorf("%s input %d: got %+v, want %+v", c.fn, c.input, got, c.want)
+		}
+	}
+}
+
+func TestSummariesTransitiveAndAliases(t *testing.T) {
+	u := buildUnit(t, `package p
+
+import "sync"
+
+type G struct{ n int }
+type Holder struct{ g *G }
+
+func leafMutate(g *G) { g.n++ }
+
+func viaCall(g *G) { leafMutate(g) }
+
+func viaAlias(h *Holder) {
+	local := h.g
+	local.n = 2
+}
+
+func viaMethodRecv(h *Holder) { leafMutate(h.g) }
+
+func joinHelper(wg *sync.WaitGroup) { wg.Wait() }
+
+func outerJoin(wg *sync.WaitGroup) { joinHelper(wg) }
+`)
+	g := Build([]*Unit{u})
+	s := g.Summaries()
+
+	cases := []struct {
+		fn   string
+		want InputSummary
+	}{
+		{"viaCall", InputSummary{Mutates: true}},
+		{"viaAlias", InputSummary{Mutates: true}},
+		{"viaMethodRecv", InputSummary{Mutates: true}},
+		{"outerJoin", InputSummary{Waits: true}},
+	}
+	for _, c := range cases {
+		got := s.Input(fnByName(t, g, c.fn).Obj, 0)
+		if got != c.want {
+			t.Errorf("%s input 0: got %+v, want %+v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestArgInputsReceiverMapping(t *testing.T) {
+	u := buildUnit(t, `package p
+
+type S struct{ n int }
+
+func (s *S) Set(v int) { s.n = v }
+
+func use(s *S) { s.Set(3) }
+`)
+	g := Build([]*Unit{u})
+	use := fnByName(t, g, "use")
+	var call *Call
+	for _, c := range use.Calls {
+		if c.Callee != nil && c.Callee.Name() == "Set" {
+			call = c
+		}
+	}
+	if call == nil {
+		t.Fatal("no Set call found")
+	}
+	ais := ArgInputs(u.Info, call.Site, call.Callee)
+	if len(ais) != 2 {
+		t.Fatalf("ArgInputs = %d entries, want 2", len(ais))
+	}
+	if ais[0].Input != 0 {
+		t.Errorf("receiver mapped to input %d, want 0", ais[0].Input)
+	}
+	if id := BaseIdent(ais[0].Expr); id == nil || id.Name != "s" {
+		t.Errorf("receiver expr base = %v, want s", id)
+	}
+	if ais[1].Input != 1 {
+		t.Errorf("arg mapped to input %d, want 1", ais[1].Input)
+	}
+}
+
+func TestBaseIdent(t *testing.T) {
+	u := buildUnit(t, `package p
+
+type Inner struct{ m map[string]int }
+type Outer struct{ in *Inner }
+
+func f(o *Outer, xs []int) {
+	_ = o.in.m["k"]
+	_ = &xs[0]
+	_ = (*o).in
+}
+`)
+	f := u.Files[0]
+	var bases []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if id := BaseIdent(rhs); id != nil {
+				bases = append(bases, id.Name)
+			}
+		}
+		return true
+	})
+	want := []string{"o", "xs", "o"}
+	if len(bases) != len(want) {
+		t.Fatalf("bases = %v, want %v", bases, want)
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Errorf("base[%d] = %s, want %s", i, bases[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// goroutineExitsDirective marks a go statement whose termination is
+// guaranteed by something the analyzer cannot see (a select on the
+// result channel, process lifetime). The annotation must state the exit
+// condition.
+const goroutineExitsDirective = "irlint:goroutine-exits"
+
+// AnalyzerGoroutineExit requires every `go` statement to be provably
+// joined or explicitly annotated. Accepted proofs, all within the
+// innermost enclosing function body:
+//
+//   - WaitGroup: the goroutine calls Done on a WaitGroup (directly,
+//     deferred, or through a callee whose summary says so), and the
+//     spawning body Waits on the same WaitGroup after the go statement
+//     (or in a defer, or through a callee whose summary Waits).
+//   - Channel join: the goroutine sends on or closes a channel, and the
+//     spawning body unconditionally receives from (or ranges over) the
+//     same channel after the go statement. A receive inside a select
+//     does not count — the other arms may abandon the goroutine.
+//
+// Everything else needs `irlint:goroutine-exits <exit condition>`: a
+// goroutine with no visible join is a leak candidate, and under the
+// coming shard fan-out every leaked goroutine multiplies by shard count.
+func AnalyzerGoroutineExit() *Analyzer {
+	const name = "goroutine-exit"
+	return &Analyzer{
+		Name: name,
+		Doc:  "every go statement must be provably joined (WaitGroup or channel) or annotated irlint:goroutine-exits",
+		RunProgram: func(pr *Program) []Diagnostic {
+			var out []Diagnostic
+			g := pr.Graph()
+			sums := g.Summaries()
+			for _, fn := range g.Funcs() {
+				p := pr.PackageOf(fn)
+				if p == nil || p.Info == nil {
+					continue
+				}
+				f := p.fileOf(fn.Decl.Pos())
+				walkGoStmts(fn.Decl.Body, fn.Decl.Body, func(gs *ast.GoStmt, body *ast.BlockStmt) {
+					if goStmtJoined(p.Info, g, sums, gs, body) {
+						return
+					}
+					if ok, reason := p.directiveReason(f, gs.Pos(), goroutineExitsDirective); ok {
+						if reason == "" {
+							out = append(out, p.diag(name, gs.Pos(),
+								"%s annotation needs a stated exit condition", goroutineExitsDirective))
+						}
+						return
+					}
+					out = append(out, p.diag(name, gs.Pos(),
+						"goroutine has no provable join in the spawning function (no WaitGroup Done/Wait pair, no unconditional channel receive); prove the join or annotate with // %s <exit condition>",
+						goroutineExitsDirective))
+				})
+			}
+			return out
+		},
+	}
+}
+
+// walkGoStmts visits every go statement under n, reporting each with its
+// innermost enclosing function body — the scope a join proof must live
+// in. Go statements inside nested function literals are checked against
+// the literal's body, not the outer declaration's.
+func walkGoStmts(n ast.Node, body *ast.BlockStmt, visit func(*ast.GoStmt, *ast.BlockStmt)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			if x.Body != nil {
+				walkGoStmts(x.Body, x.Body, visit)
+			}
+			return false
+		case *ast.GoStmt:
+			visit(x, body)
+			// The goroutine's own body may spawn more goroutines; those
+			// need proofs inside the goroutine.
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && lit.Body != nil {
+				walkGoStmts(lit.Body, lit.Body, visit)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// goStmtJoined reports whether the goroutine spawned by gs is provably
+// joined inside body.
+func goStmtJoined(info *types.Info, g *flow.Graph, sums *flow.Summaries, gs *ast.GoStmt, body *ast.BlockStmt) bool {
+	doneVars, chanVars := goroutineSignals(info, g, sums, gs)
+	if len(doneVars) == 0 && len(chanVars) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// Neither this goroutine's own body nor a sibling goroutine's
+			// body counts as a join point for the spawning function.
+			return false
+		case *ast.CallExpr:
+			// wg.Wait() after the spawn, or a helper that Waits.
+			if afterOrDeferred(body, gs, x.Pos()) && callWaitsOn(info, g, sums, x, doneVars) {
+				joined = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// <-ch, not inside a select (selects are handled below by
+			// pruning their walk).
+			if x.Op == token.ARROW && afterOrDeferred(body, gs, x.Pos()) {
+				if v := flow.BaseVar(info, x.X); v != nil && chanVars[v] {
+					joined = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			// for range ch drains until close — an unconditional join.
+			if v := flow.BaseVar(info, x.X); v != nil && chanVars[v] && afterOrDeferred(body, gs, x.Pos()) {
+				joined = true
+				return false
+			}
+		case *ast.SelectStmt:
+			// A receive inside select is conditional: another arm (e.g.
+			// ctx.Done()) may fire and abandon the goroutine.
+			return false
+		}
+		return true
+	})
+	return joined
+}
+
+// goroutineSignals extracts, from the spawned call, the WaitGroup
+// variables the goroutine provably calls Done on and the channel
+// variables it sends on or closes.
+func goroutineSignals(info *types.Info, g *flow.Graph, sums *flow.Summaries, gs *ast.GoStmt) (doneVars, chanVars map[*types.Var]bool) {
+	doneVars = map[*types.Var]bool{}
+	chanVars = map[*types.Var]bool{}
+	mark := func(set map[*types.Var]bool, e ast.Expr) {
+		if v := flow.BaseVar(info, e); v != nil {
+			set[v] = true
+		}
+	}
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok && lit.Body != nil {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if callee := flow.Callee(info, x); callee != nil {
+					if callee.Name() == "Done" && callee.Pkg() != nil && callee.Pkg().Path() == "sync" {
+						if sel, ok := x.Fun.(*ast.SelectorExpr); ok && typeIs(info.Types[sel.X].Type, "sync", "WaitGroup") {
+							mark(doneVars, sel.X)
+						}
+					}
+					// A named helper the goroutine calls may carry the Done.
+					for _, ai := range flow.ArgInputs(info, x, callee) {
+						if sums.Input(callee, ai.Input).Dones {
+							mark(doneVars, ai.Expr)
+						}
+					}
+				}
+				if flow.IsBuiltin(info, x, "close") && len(x.Args) == 1 {
+					mark(chanVars, x.Args[0])
+				}
+			case *ast.SendStmt:
+				mark(chanVars, x.Chan)
+			}
+			return true
+		})
+		return doneVars, chanVars
+	}
+	// go someFunc(args): read the callee's summary.
+	callee := flow.Callee(info, gs.Call)
+	if callee != nil {
+		for _, ai := range flow.ArgInputs(info, gs.Call, callee) {
+			if sums.Input(callee, ai.Input).Dones {
+				mark(doneVars, ai.Expr)
+			}
+		}
+	}
+	return doneVars, chanVars
+}
+
+// callWaitsOn reports whether the call is wg.Wait() on one of the given
+// WaitGroups, or passes one of them to a callee whose summary Waits.
+func callWaitsOn(info *types.Info, g *flow.Graph, sums *flow.Summaries, call *ast.CallExpr, doneVars map[*types.Var]bool) bool {
+	callee := flow.Callee(info, call)
+	if callee == nil {
+		return false
+	}
+	if callee.Name() == "Wait" && callee.Pkg() != nil && callee.Pkg().Path() == "sync" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && typeIs(info.Types[sel.X].Type, "sync", "WaitGroup") {
+			if v := flow.BaseVar(info, sel.X); v != nil && doneVars[v] {
+				return true
+			}
+		}
+	}
+	for _, ai := range flow.ArgInputs(info, call, callee) {
+		if sums.Input(callee, ai.Input).Waits {
+			if v := flow.BaseVar(info, ai.Expr); v != nil && doneVars[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// afterOrDeferred reports whether pos is textually after the go
+// statement, or inside any defer in the body (defers run at exit, which
+// is always after the spawn).
+func afterOrDeferred(body *ast.BlockStmt, gs *ast.GoStmt, pos token.Pos) bool {
+	if pos > gs.End() {
+		return true
+	}
+	inDefer := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inDefer {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if d.Pos() <= pos && pos <= d.End() {
+				inDefer = true
+				return false
+			}
+		}
+		return true
+	})
+	return inDefer
+}

@@ -13,6 +13,15 @@
 // (domain-bounds), and every switch over temporalir.Method stays
 // exhaustive as the index family grows (method-exhaustiveness).
 //
+// The whole-program (v3) half runs over every loaded package at once on
+// the flow substrate (internal/tools/irlint/flow: static call graph +
+// per-input effect summaries): contexts thread edge-to-edge with
+// annotated roots only (ctx-flow), every go statement is provably joined
+// or annotated with its exit condition (goroutine-exit), values stay
+// frozen after atomic publication (publish-freeze), and obs metric
+// families are constant-named, well-formed, and registered exactly once
+// with monotonic histogram buckets (metric-hygiene).
+//
 // The suite is stdlib-only (go/parser, go/ast, go/types); the cmd/irlint
 // driver wires it into `make lint` and CI. Each analyzer has an escape
 // hatch comment documented in LINTING.md.
@@ -60,7 +69,10 @@ type Package struct {
 	directives map[*ast.File]map[int][]string
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Per-package analyzers set Run;
+// whole-program (dataflow) analyzers set RunProgram and receive every
+// loaded package at once plus the shared flow graph. Exactly one of the
+// two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and LINTING.md.
 	Name string
@@ -68,6 +80,8 @@ type Analyzer struct {
 	Doc string
 	// Run reports every violation found in the package.
 	Run func(p *Package) []Diagnostic
+	// RunProgram reports every violation found across the whole program.
+	RunProgram func(pr *Program) []Diagnostic
 }
 
 // Analyzers returns the full suite in a stable order.
@@ -83,16 +97,30 @@ func Analyzers() []*Analyzer {
 		AnalyzerDomainBounds(),
 		AnalyzerMethodExhaustiveness(),
 		AnalyzerSpanEnd(),
+		AnalyzerCtxFlow(),
+		AnalyzerGoroutineExit(),
+		AnalyzerPublishFreeze(),
+		AnalyzerMetricHygiene(),
 	}
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position.
+// Run applies every analyzer — per-package and whole-program — and
+// returns the combined findings sorted by position. All whole-program
+// analyzers share one Program, so the flow graph and its summaries are
+// built at most once.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			out = append(out, a.Run(p)...)
+			if a.Run != nil {
+				out = append(out, a.Run(p)...)
+			}
+		}
+	}
+	pr := NewProgram(pkgs)
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			out = append(out, a.RunProgram(pr)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

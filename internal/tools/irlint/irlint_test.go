@@ -91,6 +91,30 @@ type StageTimer struct{}
 func (t *Trace) StartStage(s Stage) StageTimer { return StageTimer{} }
 
 func (st StageTimer) End() {}
+
+type Label struct{ Key, Value string }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return nil
+}
+
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {}
 `
 
 // reproStub stands in for the root package with a three-method universe,

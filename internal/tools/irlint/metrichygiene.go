@@ -1,0 +1,242 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// metricDirective suppresses a metric-hygiene finding, for the rare
+// registration that deliberately breaks a rule (e.g. a bridge exporting
+// a foreign metric family under its original name).
+const metricDirective = "lint:metric-ok"
+
+// metricRegMethods maps each obs.Registry registration method to whether
+// it registers a counter family (whose names must end in _total).
+var metricRegMethods = map[string]bool{
+	"Counter":     true,
+	"CounterFunc": true,
+	"Gauge":       false,
+	"GaugeFunc":   false,
+	"Histogram":   false,
+}
+
+// AnalyzerMetricHygiene moves metric-endpoint failures from scrape time
+// to lint time. For every obs.Registry registration call in the program:
+//
+//   - the family name must be a compile-time string constant, lowercase
+//     snake_case, and prefixed tir_ outside internal/obs — scrapers key
+//     dashboards off these names, so they are API;
+//   - counter families must end in _total (the Prometheus convention the
+//     WritePrometheus encoder assumes);
+//   - each family name is registered from exactly one call site
+//     program-wide — a second site would silently share or collide state
+//     depending on label sets;
+//   - histogram bucket bounds must be strictly increasing, whether
+//     written literally or returned by an in-program helper (resolved
+//     through the call graph), because Histogram.Observe binary-searches
+//     the bounds and silently mis-buckets on disorder.
+func AnalyzerMetricHygiene() *Analyzer {
+	const name = "metric-hygiene"
+	return &Analyzer{
+		Name: name,
+		Doc:  "obs metric names constant, well-formed, registered once; histogram buckets strictly increasing",
+		RunProgram: func(pr *Program) []Diagnostic {
+			var out []Diagnostic
+			g := pr.Graph()
+			type regSite struct {
+				p    *Package
+				f    *ast.File
+				pos  token.Pos
+				name string
+			}
+			sites := map[string][]regSite{}
+			for _, fn := range g.Funcs() {
+				p := pr.PackageOf(fn)
+				if p == nil || p.Info == nil {
+					continue
+				}
+				f := p.fileOf(fn.Decl.Pos())
+				for _, c := range fn.Calls {
+					method, ok := registryMethod(p.Info, c.Site)
+					if !ok {
+						continue
+					}
+					if p.allowed(f, c.Site.Pos(), metricDirective) {
+						continue
+					}
+					if len(c.Site.Args) == 0 {
+						continue
+					}
+					nameVal, isConst := constString(p.Info, c.Site.Args[0])
+					if !isConst {
+						out = append(out, p.diag(name, c.Site.Args[0].Pos(),
+							"metric name must be a compile-time string constant so the family set is auditable; computed names hide collisions until scrape time (or annotate with // %s <reason>)",
+							metricDirective))
+						continue
+					}
+					if !wellFormedMetricName(nameVal) {
+						out = append(out, p.diag(name, c.Site.Args[0].Pos(),
+							"metric name %q is not lowercase snake_case ([a-z][a-z0-9_]*); Prometheus scrapers reject or mangle it (or annotate with // %s <reason>)",
+							nameVal, metricDirective))
+					}
+					if p.Path != obsPath && !strings.HasPrefix(nameVal, "tir_") {
+						out = append(out, p.diag(name, c.Site.Args[0].Pos(),
+							"metric name %q lacks the tir_ namespace prefix; unprefixed families collide with other exporters on shared scrape targets (or annotate with // %s <reason>)",
+							nameVal, metricDirective))
+					}
+					if metricRegMethods[method] && !strings.HasSuffix(nameVal, "_total") {
+						out = append(out, p.diag(name, c.Site.Args[0].Pos(),
+							"counter family %q must end in _total (Prometheus counter convention) (or annotate with // %s <reason>)",
+							nameVal, metricDirective))
+					}
+					if method == "Histogram" && len(c.Site.Args) >= 3 {
+						if bounds, src := resolveBuckets(p.Info, g, c.Site.Args[2]); bounds != nil {
+							if i := firstNonIncreasing(bounds); i >= 0 {
+								out = append(out, p.diag(name, c.Site.Args[2].Pos(),
+									"histogram buckets%s are not strictly increasing at index %d (%v >= %v); Observe binary-searches the bounds and mis-buckets on disorder",
+									src, i, bounds[i], bounds[i+1]))
+							}
+						}
+					}
+					sites[nameVal] = append(sites[nameVal], regSite{p: p, f: f, pos: c.Site.Pos(), name: nameVal})
+				}
+			}
+			fams := make([]string, 0, len(sites))
+			for fam := range sites {
+				fams = append(fams, fam)
+			}
+			sort.Strings(fams)
+			for _, fam := range fams {
+				ss := sites[fam]
+				if len(ss) < 2 {
+					continue
+				}
+				sort.Slice(ss, func(i, j int) bool {
+					pi, pj := ss[i].p.Fset.Position(ss[i].pos), ss[j].p.Fset.Position(ss[j].pos)
+					if pi.Filename != pj.Filename {
+						return pi.Filename < pj.Filename
+					}
+					return pi.Line < pj.Line
+				})
+				first := ss[0].p.Fset.Position(ss[0].pos)
+				for _, s := range ss[1:] {
+					out = append(out, s.p.diag(name, s.pos,
+						"metric family %q already registered at %s:%d; one family, one registration site (or annotate with // %s <reason>)",
+						fam, first.Filename, first.Line, metricDirective))
+				}
+			}
+			return out
+		},
+	}
+}
+
+// registryMethod reports whether call is one of the obs.Registry
+// registration methods, and which.
+func registryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, known := metricRegMethods[sel.Sel.Name]; !known {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !typeIs(tv.Type, obsPath, "Registry") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constString returns the compile-time value of a string expression.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// wellFormedMetricName enforces [a-z][a-z0-9_]* — the subset of valid
+// Prometheus names this repo standardizes on.
+func wellFormedMetricName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveBuckets extracts histogram bounds when they are statically
+// knowable: a literal []float64{...} of constants, or a call to an
+// in-program function whose body is a single `return []float64{...}`.
+// The second return value names the source for the diagnostic ("" for a
+// literal, " returned by F" for a resolved helper). Unknowable bounds
+// return nil and are not checked.
+func resolveBuckets(info *types.Info, g *flow.Graph, e ast.Expr) ([]float64, string) {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return litFloats(info, x), ""
+	case *ast.CallExpr:
+		callee := flow.Callee(info, x)
+		fn := g.FuncOf(callee)
+		if fn == nil {
+			return nil, ""
+		}
+		return calleeReturnFloats(fn), " returned by " + callee.Name()
+	}
+	return nil, ""
+}
+
+// calleeReturnFloats reads the bounds out of a helper whose body is a
+// single return of a float slice literal.
+func calleeReturnFloats(fn *flow.Func) []float64 {
+	if len(fn.Decl.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := fn.Decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	lit, ok := ret.Results[0].(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	return litFloats(fn.Unit.Info, lit)
+}
+
+// litFloats evaluates every element of a composite literal as a float
+// constant; any non-constant element makes the whole literal unknowable.
+func litFloats(info *types.Info, lit *ast.CompositeLit) []float64 {
+	out := make([]float64, 0, len(lit.Elts))
+	for _, el := range lit.Elts {
+		tv, ok := info.Types[el]
+		if !ok || tv.Value == nil {
+			return nil
+		}
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		out = append(out, f)
+	}
+	return out
+}
+
+// firstNonIncreasing returns the first index i with bounds[i] >=
+// bounds[i+1], or -1 when strictly increasing.
+func firstNonIncreasing(bounds []float64) int {
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] >= bounds[i+1] {
+			return i
+		}
+	}
+	return -1
+}

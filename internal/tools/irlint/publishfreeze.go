@@ -1,0 +1,170 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// freezeDirective suppresses a publish-freeze finding for a write that is
+// provably safe (e.g. a field never read by snapshot holders, or a
+// single-goroutine setup phase before the value escapes).
+const freezeDirective = "lint:freeze-ok"
+
+// AnalyzerPublishFreeze enforces the freeze half of the epoch-snapshot
+// contract from PR 4: once a value is published through an
+// atomic.Pointer/Value Store (directly, or via a helper like
+// maint.Store.publish whose summary says it publishes), readers hold it
+// without locks — so no later statement in the publishing function may
+// write to memory reachable from that value. The existing snapshot-via
+// analyzer checks WHO may load and store the pointer; this one checks
+// WHAT happens to the pointee after the store.
+//
+// Post-publish is positional (statements after the publishing call in
+// the same function body) and reachability is the base-identifier alias
+// over-approximation from the flow package: a write through any variable
+// aliasing the published value's base flags, including writes performed
+// by callees whose summaries mutate the passed argument.
+func AnalyzerPublishFreeze() *Analyzer {
+	const name = "publish-freeze"
+	return &Analyzer{
+		Name: name,
+		Doc:  "after atomic Store/publish of a value, no write to memory reachable from it in the publishing function",
+		RunProgram: func(pr *Program) []Diagnostic {
+			var out []Diagnostic
+			g := pr.Graph()
+			sums := g.Summaries()
+			for _, fn := range g.Funcs() {
+				p := pr.PackageOf(fn)
+				if p == nil || p.Info == nil {
+					continue
+				}
+				f := p.fileOf(fn.Decl.Pos())
+				for _, c := range fn.Calls {
+					pubExpr := publishedExpr(p.Info, g, sums, c)
+					if pubExpr == nil {
+						continue
+					}
+					pubVar := flow.BaseVar(p.Info, pubExpr)
+					if pubVar == nil {
+						continue // publishing a fresh expression: nothing to alias
+					}
+					aliases := fn.AliasedVars(pubVar)
+					for _, w := range postPublishWrites(p.Info, sums, fn, c.Site, aliases) {
+						if p.allowed(f, w.pos, freezeDirective) {
+							continue
+						}
+						out = append(out, p.diag(name, w.pos,
+							"write to %q after it was published at line %d: snapshot readers hold the value lock-free, so post-publish writes race; build fully before publishing (or annotate with // %s <reason>)",
+							w.what, p.Fset.Position(c.Site.Pos()).Line, freezeDirective))
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// publishedExpr returns the expression published by this call site: the
+// argument of an atomic Pointer/Value Store/Swap/CompareAndSwap, or the
+// argument flowing into an in-program callee input whose summary
+// publishes.
+func publishedExpr(info *types.Info, g *flow.Graph, sums *flow.Summaries, c *flow.Call) ast.Expr {
+	if arg := flow.AtomicStoreValue(info, c.Site, c.Callee); arg != nil {
+		return arg
+	}
+	if c.Callee == nil || g.FuncOf(c.Callee) == nil {
+		return nil
+	}
+	for _, ai := range flow.ArgInputs(info, c.Site, c.Callee) {
+		if sums.Input(c.Callee, ai.Input).Publishes {
+			return ai.Expr
+		}
+	}
+	return nil
+}
+
+// pfWrite is one post-publish write: its position and a short rendering
+// of what was written.
+type pfWrite struct {
+	pos  token.Pos
+	what string
+}
+
+// postPublishWrites scans the function body for writes, after the
+// publishing call, through any alias of the published value.
+func postPublishWrites(info *types.Info, sums *flow.Summaries, fn *flow.Func, pub *ast.CallExpr, aliases map[*types.Var]bool) []pfWrite {
+	var out []pfWrite
+	hits := func(e ast.Expr) bool {
+		v := flow.BaseVar(info, e)
+		return v != nil && aliases[v]
+	}
+	after := func(pos token.Pos) bool { return pos > pub.End() }
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if !after(st.Pos()) {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if flow.WritesThrough(lhs) && hits(lhs) {
+					out = append(out, pfWrite{lhs.Pos(), renderExpr(lhs)})
+				}
+			}
+			for _, rhs := range st.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && flow.IsBuiltin(info, call, "append") && len(call.Args) > 0 && hits(call.Args[0]) {
+					out = append(out, pfWrite{call.Pos(), renderExpr(call.Args[0])})
+				}
+			}
+		case *ast.IncDecStmt:
+			if after(st.Pos()) && flow.WritesThrough(st.X) && hits(st.X) {
+				out = append(out, pfWrite{st.Pos(), renderExpr(st.X)})
+			}
+		case *ast.CallExpr:
+			if !after(st.Pos()) || st == pub {
+				return true
+			}
+			if flow.IsBuiltin(info, st, "copy") && len(st.Args) > 0 && hits(st.Args[0]) {
+				out = append(out, pfWrite{st.Pos(), renderExpr(st.Args[0])})
+				return true
+			}
+			callee := flow.Callee(info, st)
+			if callee == nil {
+				return true
+			}
+			for _, ai := range flow.ArgInputs(info, st, callee) {
+				if sums.Input(callee, ai.Input).Mutates && hits(ai.Expr) {
+					out = append(out, pfWrite{st.Pos(), callee.Name() + "(" + renderExpr(ai.Expr) + ")"})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// renderExpr prints simple expressions (idents, selectors, indexes);
+// anything more complex falls back to a placeholder.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return "&" + renderExpr(x.X)
+		}
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "(...)"
+	}
+	return "value"
+}

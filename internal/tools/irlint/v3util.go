@@ -1,0 +1,47 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The v3 analyzers use two kinds of comment vocabulary, both placed on
+// the flagged line or the line directly above it:
+//
+//   - contract annotations (irlint:ctx-root, irlint:goroutine-exits) that
+//     declare WHY a detached context or goroutine is intentional — these
+//     require a stated reason, an empty annotation is itself a finding;
+//   - escape hatches (lint:freeze-ok, lint:metric-ok) matching the
+//     existing lint:*-ok convention.
+
+// directiveReason reports whether a directive annotates the line of pos
+// or the line above, and returns the text following the directive (the
+// stated reason, whitespace-trimmed). Used by annotations that require a
+// rationale: found-but-empty is a weaker state than absent.
+func (p *Package) directiveReason(f *ast.File, pos token.Pos, directive string) (found bool, reason string) {
+	if f == nil {
+		return false, ""
+	}
+	// Prime and reuse the same per-line comment cache as allowed().
+	p.allowed(f, pos, "\x00never-matches")
+	lines := p.directives[f]
+	ln := p.Fset.Position(pos).Line
+	for _, l := range []int{ln, ln - 1} {
+		for _, text := range lines[l] {
+			if i := strings.Index(text, directive); i >= 0 {
+				rest := strings.TrimSpace(text[i+len(directive):])
+				rest = strings.TrimSuffix(rest, "*/")
+				return true, strings.TrimSpace(rest)
+			}
+		}
+	}
+	return false, ""
+}
+
+// isMainPackage reports whether the package is a command entry point,
+// which is exempt from the ctx-root rule: main is where root contexts
+// legitimately begin.
+func (p *Package) isMainPackage() bool {
+	return p.Types != nil && p.Types.Name() == "main"
+}
