@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint invariants bench microbench race fuzz examples experiments clean
+.PHONY: all build test vet lint invariants bench benchmem microbench race fuzz examples experiments clean
 
 all: build vet lint test
 
@@ -31,12 +31,24 @@ invariants:
 # for the perf trajectory (per-method latency/size, the tombstone-load
 # before/after-compaction series, the observability overhead + per-stage
 # breakdown, then the post-lint-sweep snapshot confirming the v3
-# annotation/ctx fixes did not regress qps).
+# annotation/ctx fixes did not regress qps, then the post-allocation-
+# contract snapshot, diffed against its predecessor by benchdiff).
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
 	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr5.json
 	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr6.json
+	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr7.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr6.json -new BENCH_pr7.json
+
+# Re-measure the hot-path allocation budgets (BENCH_BUDGET.json), then
+# re-run the gate against the fresh numbers. -p 1 keeps the in-process
+# benchmarks off shared cores; -count=1 defeats test caching.
+benchmem:
+	ALLOC_BUDGET_RECORD=1 $(GO) test -run TestAllocBudget -count=1 -p 1 \
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress
+	$(GO) test -run TestAllocBudget -count=1 -p 1 \
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

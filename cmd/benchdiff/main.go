@@ -1,0 +1,120 @@
+// Command benchdiff compares two obsjson benchmark snapshots
+// (BENCH_prN.json) and fails when any method's untraced throughput
+// regressed past the tolerance, or a method disappeared. It is the
+// cross-PR half of the perf gate: the allocation budgets pin per-kernel
+// allocs, benchdiff pins end-to-end queries per second.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_pr6.json -new BENCH_pr7.json [-tol 0.35]
+//
+// The default tolerance is deliberately loose — CI machines are noisy
+// and the snapshots are single runs — so only structural regressions
+// (a lost fast path, an accidental O(n^2)) trip it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type method struct {
+	Method      string  `json:"method"`
+	UntracedQPS float64 `json:"untraced_queries_per_sec"`
+}
+
+type snapshot struct {
+	Methods []method `json:"methods"`
+}
+
+// delta is one method's comparison row.
+type delta struct {
+	Method   string
+	OldQPS   float64
+	NewQPS   float64
+	Ratio    float64 // new/old; 0 when old is 0
+	Missing  bool
+	Regressr bool
+}
+
+// compare pairs old methods with new ones and flags regressions: a
+// method missing from the new snapshot, or new < old*(1-tol).
+func compare(oldSnap, newSnap *snapshot, tol float64) []delta {
+	byName := make(map[string]method, len(newSnap.Methods))
+	for _, m := range newSnap.Methods {
+		byName[m.Method] = m
+	}
+	out := make([]delta, 0, len(oldSnap.Methods))
+	for _, om := range oldSnap.Methods {
+		nm, ok := byName[om.Method]
+		if !ok {
+			out = append(out, delta{Method: om.Method, OldQPS: om.UntracedQPS, Missing: true, Regressr: true})
+			continue
+		}
+		d := delta{Method: om.Method, OldQPS: om.UntracedQPS, NewQPS: nm.UntracedQPS}
+		if om.UntracedQPS > 0 {
+			d.Ratio = nm.UntracedQPS / om.UntracedQPS
+			d.Regressr = nm.UntracedQPS < om.UntracedQPS*(1-tol)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(s.Methods) == 0 {
+		return nil, fmt.Errorf("%s has no methods[] — not an obsjson snapshot?", path)
+	}
+	return &s, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous obsjson snapshot")
+	newPath := flag.String("new", "", "current obsjson snapshot")
+	tol := flag.Float64("tol", 0.35, "allowed fractional qps drop per method before failing")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	deltas := compare(oldSnap, newSnap, *tol)
+	failed := false
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			failed = true
+			fmt.Printf("FAIL %-24s %12.0f qps -> (missing)\n", d.Method, d.OldQPS)
+		case d.Regressr:
+			failed = true
+			fmt.Printf("FAIL %-24s %12.0f qps -> %12.0f qps (%.2fx, tolerance %.2f)\n",
+				d.Method, d.OldQPS, d.NewQPS, d.Ratio, *tol)
+		default:
+			fmt.Printf("ok   %-24s %12.0f qps -> %12.0f qps (%.2fx)\n",
+				d.Method, d.OldQPS, d.NewQPS, d.Ratio)
+		}
+	}
+	if failed {
+		fmt.Printf("benchdiff: throughput regression past tolerance %.2f\n", *tol)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func snap(pairs ...any) *snapshot {
+	s := &snapshot{}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Methods = append(s.Methods, method{
+			Method:      pairs[i].(string),
+			UntracedQPS: pairs[i+1].(float64),
+		})
+	}
+	return s
+}
+
+func TestCompare(t *testing.T) {
+	oldSnap := snap("tif", 1000.0, "hint", 2000.0, "merge", 500.0)
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		newSnap := snap("tif", 900.0, "hint", 2100.0, "merge", 400.0)
+		for _, d := range compare(oldSnap, newSnap, 0.35) {
+			if d.Regressr {
+				t.Errorf("%s flagged as regression: %+v", d.Method, d)
+			}
+		}
+	})
+
+	t.Run("past tolerance fails", func(t *testing.T) {
+		newSnap := snap("tif", 600.0, "hint", 2000.0, "merge", 500.0)
+		deltas := compare(oldSnap, newSnap, 0.35)
+		var flagged []string
+		for _, d := range deltas {
+			if d.Regressr {
+				flagged = append(flagged, d.Method)
+			}
+		}
+		if len(flagged) != 1 || flagged[0] != "tif" {
+			t.Errorf("want exactly [tif] flagged, got %v", flagged)
+		}
+	})
+
+	t.Run("missing method fails", func(t *testing.T) {
+		newSnap := snap("tif", 1000.0, "hint", 2000.0)
+		deltas := compare(oldSnap, newSnap, 0.35)
+		found := false
+		for _, d := range deltas {
+			if d.Method == "merge" {
+				found = true
+				if !d.Missing || !d.Regressr {
+					t.Errorf("merge should be flagged missing: %+v", d)
+				}
+			}
+		}
+		if !found {
+			t.Error("merge row absent from deltas")
+		}
+	})
+
+	t.Run("new methods are ignored", func(t *testing.T) {
+		newSnap := snap("tif", 1000.0, "hint", 2000.0, "merge", 500.0, "extra", 1.0)
+		if n := len(compare(oldSnap, newSnap, 0.35)); n != 3 {
+			t.Errorf("want 3 deltas (old snapshot drives the pairing), got %d", n)
+		}
+	})
+
+	t.Run("zero old qps never divides by zero", func(t *testing.T) {
+		deltas := compare(snap("dead", 0.0), snap("dead", 100.0), 0.35)
+		if deltas[0].Regressr || deltas[0].Ratio != 0 {
+			t.Errorf("zero-old row mishandled: %+v", deltas[0])
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/allocbudget"
+	"repro/internal/postings"
+)
+
+// TestAllocBudget pins the streaming decode step: a value iterator over
+// an encoded list, reset at the end of each pass, must never allocate.
+// `make benchmem` re-records.
+func TestAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := EncodeList(randomList(rng, 10_000))
+
+	allocbudget.Gate(t, "compress/Iterator.Next", func(b *testing.B) {
+		it := Iterator{buf: buf}
+		var p postings.Posting
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !it.Next(&p) {
+				it.Reset()
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/dict"
@@ -50,6 +51,11 @@ func (ix *TIF) Len() int { return ix.live }
 
 // Query runs Algorithm 1 with on-the-fly decoding: temporal filter over
 // the least frequent element's stream, then streaming merge intersections.
+// The iterator is a stack value (no per-query allocation) and the
+// candidate buffer is pre-sized to the first list's entry count, so the
+// decode loops never reallocate.
+//
+// irlint:hot compressed-variant per-query entry point
 func (ix *TIF) Query(q model.Query) []model.ObjectID {
 	if len(q.Elems) == 0 {
 		return ix.queryTemporalOnly(q.Interval)
@@ -59,8 +65,9 @@ func (ix *TIF) Query(q model.Query) []model.ObjectID {
 	if int(first) >= len(ix.lists) || ix.lists[first] == nil {
 		return nil
 	}
-	var cands []model.ObjectID
-	it := NewIterator(ix.lists[first])
+	// lint:alloc-ok single candidate buffer per query, pre-sized to the first list's entry count
+	cands := make([]model.ObjectID, 0, ix.counts[first])
+	it := Iterator{buf: ix.lists[first]}
 	var p postings.Posting
 	for it.Next(&p) {
 		if p.Interval.Overlaps(q.Interval) {
@@ -74,7 +81,7 @@ func (ix *TIF) Query(q model.Query) []model.ObjectID {
 		if int(e) >= len(ix.lists) || ix.lists[e] == nil {
 			return nil
 		}
-		it := NewIterator(ix.lists[e])
+		it = Iterator{buf: ix.lists[e]}
 		w := 0
 		i := 0
 		for it.Next(&p) && i < len(cands) {
@@ -99,7 +106,11 @@ func (ix *TIF) queryTemporalOnly(q model.Interval) []model.ObjectID {
 		if ix.lists[e] == nil {
 			continue
 		}
-		it := NewIterator(ix.lists[e])
+		// Establish capacity for this list's matches before the decode
+		// loop; growth amortizes to one allocation per non-empty list.
+		// lint:alloc-ok amortized growth, at most one allocation per non-empty list
+		out = slices.Grow(out, ix.counts[e])
+		it := Iterator{buf: ix.lists[e]}
 		for it.Next(&p) {
 			if p.Interval.Overlaps(q) {
 				out = append(out, p.ID)

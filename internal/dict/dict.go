@@ -6,8 +6,9 @@
 package dict
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -142,8 +143,11 @@ func FreqsFromCollection(c *model.Collection) []int {
 // PlanOrder sorts the query elements by increasing global frequency,
 // breaking ties by id, and returns the sorted copy. This is the standard
 // query-plan ordering of Algorithm 1: the least frequent element is
-// processed first so that intermediate candidate sets stay small.
+// processed first so that intermediate candidate sets stay small. The
+// generic slices.SortFunc avoids the interface boxing sort.Slice pays,
+// so planning allocates exactly one small copy per query.
 func PlanOrder(elems []model.ElemID, freqs []int) []model.ElemID {
+	// lint:alloc-ok per-query plan copy, bounded by the handful of query elements
 	out := append([]model.ElemID(nil), elems...)
 	freq := func(e model.ElemID) int {
 		if int(e) < len(freqs) {
@@ -151,12 +155,12 @@ func PlanOrder(elems []model.ElemID, freqs []int) []model.ElemID {
 		}
 		return 0
 	}
-	sort.Slice(out, func(i, j int) bool {
-		fi, fj := freq(out[i]), freq(out[j])
-		if fi != fj {
-			return fi < fj
+	slices.SortFunc(out, func(a, b model.ElemID) int {
+		fa, fb := freq(a), freq(b)
+		if fa != fb {
+			return cmp.Compare(fa, fb)
 		}
-		return out[i] < out[j]
+		return cmp.Compare(a, b)
 	})
 	return out
 }

@@ -174,6 +174,8 @@ func Assign(dom domain.Domain, iv model.Interval, fn func(level int, j uint32, o
 
 // Finalize sorts every subdivision into its beneficial order after bulk
 // loading. Idempotent.
+//
+// irlint:cold bulk-load finalization; a no-op dirty-flag check on the query path
 func (ix *Index) Finalize() {
 	if !ix.dirty {
 		return

@@ -43,6 +43,8 @@ const fanMinPer = 2
 // once; the order is nondeterministic under concurrency. A nil or
 // single-worker pool (or a small partition count) falls back to the
 // serial scan.
+//
+// irlint:cold opt-in parallel fan-out; per-chunk buffers are the cost of concurrency, not the serial query path
 func (ix *Index) RangeQueryParallel(q model.Interval, pool *exec.Pool, dst []model.ObjectID) []model.ObjectID {
 	parts := ix.Relevant(q, nil)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < fanCutoff {
@@ -68,6 +70,8 @@ func (ix *Index) RangeQueryParallel(q model.Interval, pool *exec.Pool, dst []mod
 // scans fanned across the pool. pred runs concurrently and must be safe
 // for concurrent use (the Algorithm 3 candidate probe — a binary search
 // over an immutable sorted set — is).
+//
+// irlint:cold opt-in parallel fan-out; per-chunk buffers are the cost of concurrency, not the serial query path
 func (ix *Index) RangeQueryFilteredParallel(q model.Interval, pred func(model.ObjectID) bool, pool *exec.Pool, dst []model.ObjectID) []model.ObjectID {
 	parts := ix.Relevant(q, nil)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < fanCutoff {

@@ -73,6 +73,8 @@ func Visit(dom domain.Domain, q model.Interval, fn func(LevelVisit)) {
 // RangeQuery returns the ids of all live intervals overlapping q
 // (Algorithm 2 with the subs+sort subdivisions). The output order is the
 // traversal order, not id order; each id appears exactly once.
+//
+// irlint:hot the HINT traversal every HINT-backed method pays per query
 func (ix *Index) RangeQuery(q model.Interval, dst []model.ObjectID) []model.ObjectID {
 	ix.Finalize()
 	Visit(ix.dom, q, func(lv LevelVisit) {
@@ -238,6 +240,8 @@ func (ix *Index) VisitRelevant(q model.Interval, fn func(p *Partition, ob Obliga
 // RangeQueryFiltered is RangeQuery restricted to ids satisfying pred —
 // the binary-search candidate probe of Algorithm 3, where pred tests
 // membership in the sorted candidate set.
+//
+// irlint:hot the Algorithm 3 probe path of the tIF+HINT hybrid methods
 func (ix *Index) RangeQueryFiltered(q model.Interval, pred func(model.ObjectID) bool, dst []model.ObjectID) []model.ObjectID {
 	ix.VisitRelevant(q, func(p *Partition, ob Obligations) {
 		dst = reportPartitionFiltered(p, ob, q, pred, dst)

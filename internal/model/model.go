@@ -37,10 +37,23 @@ type Interval struct {
 // use Canon to silently swap instead.
 func NewInterval(start, end Timestamp) Interval {
 	if start > end {
-		// lint:panic-ok documented constructor precondition; use Canon for untrusted endpoints
-		panic(fmt.Sprintf("model: invalid interval [%d, %d]", start, end))
+		panicInvalidInterval(start, end)
 	}
 	return Interval{Start: start, End: end}
+}
+
+// panicInvalidInterval formats the constructor-precondition panic outside
+// NewInterval, which is inlined into query kernels: keeping the Sprintf
+// here (noinline, or the outlining is undone and the escaping arguments
+// re-attribute to every hot call site) keeps NewInterval's inlined body
+// small and allocation-free.
+//
+// irlint:cold panic path, executes at most once and then unwinds
+//
+//go:noinline
+func panicInvalidInterval(start, end Timestamp) {
+	// lint:panic-ok documented constructor precondition; use Canon for untrusted endpoints
+	panic(fmt.Sprintf("model: invalid interval [%d, %d]", start, end))
 }
 
 // Canon returns the interval with endpoints swapped if necessary so that

@@ -1,0 +1,35 @@
+package postings
+
+import (
+	"testing"
+
+	"repro/internal/allocbudget"
+	"repro/internal/model"
+)
+
+// TestAllocBudget pins the steady-state allocation behavior of the
+// annotated intersection kernels: with a reused dst buffer both merges
+// must be allocation-free once warmed up. `make benchmem` re-records.
+func TestAllocBudget(t *testing.T) {
+	l, cands := benchLists(10_000)
+	other := make([]model.ObjectID, 0, len(l)/2)
+	for i := 0; i < len(l); i += 2 {
+		other = append(other, l[i].ID)
+	}
+
+	allocbudget.Gate(t, "postings/List.IntersectIDs", func(b *testing.B) {
+		var dst []model.ObjectID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = l.IntersectIDs(cands, dst[:0])
+		}
+	})
+
+	allocbudget.Gate(t, "postings/IntersectSortedIDs", func(b *testing.B) {
+		var dst []model.ObjectID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectSortedIDs(cands, other, dst[:0])
+		}
+	})
+}

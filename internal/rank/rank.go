@@ -7,9 +7,9 @@
 package rank
 
 import (
-	"container/heap"
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -59,6 +59,12 @@ func (s *Scorer) IDF(e model.ElemID) float64 {
 }
 
 // Score rates one object against a query. The IDF component sums the
+// weights of the query elements; it runs once per candidate per ranked
+// query, so it must stay allocation-free.
+//
+// irlint:hot per-candidate scoring kernel of ranked search
+//
+// The scoring model: the IDF component sums the
 // weights of the query elements (all contained, by the containment
 // semantics); the temporal component is the fraction of the query
 // interval the object's lifespan covers. Both are normalized to [0, 1]
@@ -86,25 +92,49 @@ type Result struct {
 	Score float64
 }
 
-// resultHeap is a min-heap on score (ties broken by larger id first so
-// the final ascending-id tiebreak pops correctly), keeping the best k.
+// resultHeap is a concrete min-heap on score (ties broken by larger id
+// first so the worst of the best-k sits at the root), keeping the best k.
+// It deliberately does not implement container/heap: the interface-based
+// API boxes every Result pushed through it, and the heap operations sit
+// on the per-candidate ranking path.
 type resultHeap []Result
 
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(a, b int) bool {
+// worse reports whether entry a should sit below entry b, i.e. a is a
+// weaker result than b (lower score, or equal score with a larger id).
+func (h resultHeap) worse(a, b int) bool {
 	if h[a].Score != h[b].Score {
 		return h[a].Score < h[b].Score
 	}
 	return h[a].ID > h[b].ID
 }
-func (h resultHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h resultHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h resultHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h.worse(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h.worse(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // ContainmentIndex is the candidate source — any index of the family.
@@ -114,34 +144,39 @@ type ContainmentIndex interface {
 
 // TopK returns the k highest-scoring objects matching q, ordered by
 // descending score (ascending id on ties). Candidates come from the
-// containment index; the collection supplies the object records.
+// containment index; the collection supplies the object records. The
+// candidate loop only touches the pre-sized heap — replace-root when a
+// candidate beats the current worst — so ranking allocates nothing per
+// candidate.
+//
+// irlint:hot ranked-search driver, one heap operation per candidate
 func TopK(ix ContainmentIndex, c *model.Collection, s *Scorer, q model.Query, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
+	// lint:alloc-ok one k-capacity heap per ranked query
 	h := make(resultHeap, 0, k)
 	for _, id := range ix.Query(q) {
 		o := &c.Objects[id]
 		r := Result{ID: id, Score: s.Score(o, &q)}
 		if len(h) < k {
-			heap.Push(&h, r)
+			h = append(h, r)
+			h.siftUp(len(h) - 1)
 			continue
 		}
 		if r.Score > h[0].Score || (r.Score == h[0].Score && r.ID < h[0].ID) {
 			h[0] = r
-			heap.Fix(&h, 0)
+			h.siftDown(0)
 		}
 	}
+	// lint:alloc-ok one exactly-sized result slice per ranked query
 	out := make([]Result, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Result)
-	}
-	// Pops yield ascending score; out is descending. Normalize ties.
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
+	copy(out, h)
+	slices.SortStableFunc(out, func(a, b Result) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		return out[a].ID < out[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

@@ -1,0 +1,44 @@
+package tifhint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/allocbudget"
+	"repro/internal/domain"
+	"repro/internal/model"
+	"repro/internal/postings"
+)
+
+// TestAllocBudget pins the keep-mask intersection of the tIF+HINT merge
+// variant: with the mask and candidate buffer reused, the per-element
+// intersection must stay allocation-free. The workload is chosen so every
+// candidate survives — intersect compacts cands in place, so a lossy
+// round would shrink the input for the next. `make benchmem` re-records.
+func TestAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dom := domain.New(0, 1<<20, 10)
+	h := newIDHint(dom)
+	n := 20_000
+	cands := make([]model.ObjectID, 0, n)
+	for i := 0; i < n; i++ {
+		s := model.Timestamp(rng.Int63n(1 << 19))
+		h.insert(postings.Posting{
+			ID:       model.ObjectID(i),
+			Interval: model.Interval{Start: s, End: s + model.Timestamp(rng.Int63n(1<<14)+1)},
+		})
+		cands = append(cands, model.ObjectID(i))
+	}
+	q := model.Interval{Start: 0, End: 1 << 20} // covers every entry: all candidates kept
+	keep := make([]bool, len(cands))
+
+	allocbudget.Gate(t, "tifhint/idHint.intersect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got := h.intersect(q, cands, keep)
+			if len(got) != len(cands) {
+				b.Fatalf("intersect dropped candidates: %d of %d", len(got), len(cands))
+			}
+		}
+	})
+}

@@ -50,6 +50,8 @@ func scanRelevant(parts []idRelevant, q model.Interval, dst []model.ObjectID) []
 
 // rangeQueryParallel fans the division scans of rangeQuery across the
 // pool. Ids stay duplicate-free; order is nondeterministic.
+//
+// irlint:cold opt-in parallel fan-out; per-chunk buffers are the cost of concurrency, not the serial query path
 func (h *idHint) rangeQueryParallel(q model.Interval, pool *exec.Pool, dst []model.ObjectID) []model.ObjectID {
 	parts := h.relevant(q, nil)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {
@@ -69,6 +71,8 @@ func (h *idHint) rangeQueryParallel(q model.Interval, pool *exec.Pool, dst []mod
 // masks are OR-ed before the compaction — idempotence of the keep-mask
 // makes the merge order irrelevant. Candidate order is preserved, exactly
 // as in the serial path.
+//
+// irlint:cold opt-in parallel fan-out; per-chunk masks are the cost of concurrency, not the serial query path
 func (h *idHint) intersectParallel(q model.Interval, cands []model.ObjectID, keep []bool, pool *exec.Pool) []model.ObjectID {
 	parts := h.relevant(q, nil)
 	if pool == nil || pool.Workers() <= 1 || len(parts) < parallelCutoff {

@@ -1,11 +1,35 @@
 package tifhint
 
 import (
+	"sync"
+
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/postings"
 )
+
+// keepScratch is a reusable keep-mask buffer. The pool recycles masks
+// across queries: each grows to the largest candidate set it has served
+// and is then reused, so steady-state intersections allocate no mask.
+type keepScratch struct{ mask []bool }
+
+var keepPool = sync.Pool{New: func() any { return &keepScratch{} }}
+
+// grown returns the mask resized to n, reallocating only when the
+// candidate set outgrows every previous query's. Contents are stale;
+// every consumer resets the mask before marking. Noinline so the rare
+// growth allocation stays attributed to this line instead of being
+// inlined into every hot intersection loop.
+//
+//go:noinline
+func (ks *keepScratch) grown(n int) []bool {
+	if cap(ks.mask) < n {
+		// lint:alloc-ok pooled scratch grows to the largest candidate set seen, then is reused across queries
+		ks.mask = make([]bool, n)
+	}
+	return ks.mask[:n]
+}
 
 // Stage instrumentation for the three composites. Each helper owns one
 // deferred span on q.Trace (nil = disabled, one branch of cost), so
@@ -35,6 +59,14 @@ func (h *idHint) seed(q model.Query, pool *exec.Pool) []model.ObjectID {
 // probe pass.
 func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
 	defer q.Trace.StartStage(obs.StageIntersect).End()
+	// One probe closure per query, hoisted out of the plan loop; sorted
+	// is rebound per element so the closure always probes the current
+	// candidate set.
+	var sorted []model.ObjectID // lint:alloc-ok captured slice header, one heap slot per query
+	// lint:alloc-ok one predicate closure per query, reused across plan elements
+	pred := func(id model.ObjectID) bool {
+		return postings.ContainsSorted(sorted, id)
+	}
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
 			return nil
@@ -44,10 +76,7 @@ func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []mod
 		}
 		// Line 5: sort C by id so membership probes are binary searches.
 		model.SortIDs(cands)
-		sorted := cands
-		pred := func(id model.ObjectID) bool {
-			return postings.ContainsSorted(sorted, id)
-		}
+		sorted = cands
 		// Lines 7-29: traverse H[e] with the temporal flags, keeping the
 		// candidates found in qualifying divisions.
 		if pool != nil {
@@ -64,7 +93,8 @@ func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []mod
 // one intersection span.
 func (ix *MergeIndex) intersectRest(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
 	defer q.Trace.StartStage(obs.StageIntersect).End()
-	var keep []bool
+	ks := keepPool.Get().(*keepScratch)
+	defer keepPool.Put(ks)
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
 			return nil
@@ -72,13 +102,11 @@ func (ix *MergeIndex) intersectRest(q model.Query, plan []model.ElemID, cands []
 		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
 			return nil
 		}
-		if cap(keep) < len(cands) {
-			keep = make([]bool, len(cands))
-		}
+		keep := ks.grown(len(cands))
 		if pool != nil {
-			cands = ix.hints[e].intersectParallel(q.Interval, cands, keep[:len(cands)], pool)
+			cands = ix.hints[e].intersectParallel(q.Interval, cands, keep, pool)
 		} else {
-			cands = ix.hints[e].intersect(q.Interval, cands, keep[:len(cands)])
+			cands = ix.hints[e].intersect(q.Interval, cands, keep)
 		}
 	}
 	return cands
@@ -91,7 +119,9 @@ func (ix *MergeIndex) intersectRest(q model.Query, plan []model.ElemID, cands []
 func (ix *HybridIndex) intersectSlices(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
 	defer q.Trace.StartStage(obs.StageIntersect).End()
 	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
-	keep := make([]bool, len(cands))
+	ks := keepPool.Get().(*keepScratch)
+	defer keepPool.Put(ks)
+	keep := ks.grown(len(cands))
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
 			return nil
@@ -111,23 +141,31 @@ func (ix *HybridIndex) intersectSlices(q model.Query, plan []model.ElemID, cands
 				markSlice(sub, cands, keep)
 			}
 		} else {
-			masks := exec.MapChunks(pool, len(subs), parallelMinPer, func(lo, hi int) []bool {
-				mask := make([]bool, len(cands))
-				for _, sub := range subs[lo:hi] {
-					markSlice(sub, cands, mask)
-				}
-				return mask
-			})
-			for _, mask := range masks {
-				for i, k := range mask {
-					if k {
-						keep[i] = true
-					}
-				}
-			}
+			markSlicesParallel(subs, cands, keep, pool)
 		}
 		cands = compact(cands, keep)
 		keep = keep[:len(cands)]
 	}
 	return cands
+}
+
+// markSlicesParallel fans the slice merges across the pool, OR-ing the
+// per-chunk masks into keep.
+//
+// irlint:cold opt-in parallel fan-out; per-chunk masks are the cost of concurrency, not the serial query path
+func markSlicesParallel(subs [][]slicePair, cands []model.ObjectID, keep []bool, pool *exec.Pool) {
+	masks := exec.MapChunks(pool, len(subs), parallelMinPer, func(lo, hi int) []bool {
+		mask := make([]bool, len(cands))
+		for _, sub := range subs[lo:hi] {
+			markSlice(sub, cands, mask)
+		}
+		return mask
+	})
+	for _, mask := range masks {
+		for i, k := range mask {
+			if k {
+				keep[i] = true
+			}
+		}
+	}
 }

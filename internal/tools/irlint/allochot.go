@@ -1,0 +1,155 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// AnalyzerAllocHot enforces the allocation half of the hot-path
+// contract: inside the irlint:hot closure there must be no
+// heap-escaping allocation (joined from the compiler's -m=2 escape
+// facts), no fmt/reflect call, no string concatenation inside a loop,
+// and no explicit conversion that boxes a concrete value into an
+// interface. `lint:alloc-ok <reason>` suppresses one site.
+//
+// The analyzer also owns the annotation hygiene of the hot set itself
+// (irlint:hot/irlint:cold reasons) and surfaces escape-fact collection
+// failures, so a build too broken to run escape analysis gates the lint.
+func AnalyzerAllocHot() *Analyzer {
+	return &Analyzer{
+		Name:       "alloc-hot",
+		Doc:        "functions reachable from irlint:hot roots must not heap-allocate, box interfaces, or call fmt/reflect",
+		RunProgram: runAllocHot,
+	}
+}
+
+func runAllocHot(pr *Program) []Diagnostic {
+	var out []Diagnostic
+	hot := pr.Hot()
+	for _, prob := range hot.Problems {
+		out = append(out, Diagnostic{Pos: prob.Pos, Analyzer: "alloc-hot", Message: prob.Message})
+	}
+	if hot.Empty() {
+		return out
+	}
+	table, err := pr.EscapeTable()
+	if err != nil && len(pr.Pkgs) > 0 && len(pr.Pkgs[0].Files) > 0 {
+		p := pr.Pkgs[0]
+		out = append(out, p.diag("alloc-hot", p.Files[0].Pos(), "escape-fact collection failed, cannot verify hot-path allocations: %v", err))
+	}
+	pr.forEachHot(func(p *Package, f *ast.File, fn *flow.Func) {
+		via := hot.Via(fn.Obj)
+		// (a) compiler escape facts within the declaration's line span.
+		if table != nil {
+			start := p.Fset.Position(fn.Decl.Pos())
+			end := p.Fset.Position(fn.Decl.End())
+			for _, fact := range table.InRange(start.Filename, start.Line, end.Line) {
+				pos := token.Position{Filename: fact.File, Line: fact.Line, Column: fact.Col}
+				if sup, bare := p.okLine(f, fact.Line, allocOKDirective); sup {
+					continue
+				} else if bare {
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "alloc-hot",
+						Message: allocOKDirective + " needs a reason: " + allocOKDirective + " <why this allocation is acceptable per query>"})
+					continue
+				}
+				out = append(out, Diagnostic{Pos: pos, Analyzer: "alloc-hot",
+					Message: "heap allocation on hot path" + via + ": " + fact.Text})
+			}
+		}
+		// (b)–(d) syntactic contracts: fmt/reflect, loop string concat,
+		// interface-boxing conversions.
+		loops := collectLoops(fn.Decl.Body)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				for _, pkg := range []string{"fmt", "reflect"} {
+					if callee, ok := calleePkgIs(p.Info, e, pkg); ok {
+						if sup, bare := p.okWithReason(f, e.Pos(), allocOKDirective); sup {
+							return true
+						} else if bare {
+							out = append(out, p.diag("alloc-hot", e.Pos(), "%s needs a reason", allocOKDirective))
+							return true
+						}
+						out = append(out, p.diag("alloc-hot", e.Pos(),
+							"%s.%s call on hot path%s; formatting and reflection allocate", pkg, callee.Name(), via))
+						return true
+					}
+				}
+				if ifaceT, opT := boxingConversion(p.Info, e); ifaceT != nil {
+					if sup, bare := p.okWithReason(f, e.Pos(), allocOKDirective); sup {
+						return true
+					} else if bare {
+						out = append(out, p.diag("alloc-hot", e.Pos(), "%s needs a reason", allocOKDirective))
+						return true
+					}
+					out = append(out, p.diag("alloc-hot", e.Pos(),
+						"conversion boxes %s into interface %s on hot path%s", opT, ifaceT, via))
+				}
+			case *ast.BinaryExpr:
+				if e.Op != token.ADD {
+					return true
+				}
+				tv, ok := p.Info.Types[e]
+				if !ok || tv.Value != nil { // constant-folded concat is free
+					return true
+				}
+				if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+					return true
+				}
+				if innermostLoop(loops, e.Pos()) == nil {
+					return true
+				}
+				if sup, bare := p.okWithReason(f, e.Pos(), allocOKDirective); sup {
+					return true
+				} else if bare {
+					out = append(out, p.diag("alloc-hot", e.Pos(), "%s needs a reason", allocOKDirective))
+					return true
+				}
+				out = append(out, p.diag("alloc-hot", e.Pos(),
+					"string concatenation in a hot loop%s allocates per iteration", via))
+			case *ast.AssignStmt:
+				if e.Tok != token.ADD_ASSIGN || len(e.Lhs) != 1 {
+					return true
+				}
+				tv, ok := p.Info.Types[e.Lhs[0]]
+				if !ok {
+					return true
+				}
+				if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+					return true
+				}
+				if innermostLoop(loops, e.Pos()) == nil {
+					return true
+				}
+				if sup, _ := p.okWithReason(f, e.Pos(), allocOKDirective); sup {
+					return true
+				}
+				out = append(out, p.diag("alloc-hot", e.Pos(),
+					"string concatenation in a hot loop%s allocates per iteration", via))
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// boxingConversion reports an explicit conversion I(x) where I is an
+// interface type and x has a concrete type: the converted value is
+// boxed, which allocates whenever it escapes or exceeds pointer size.
+func boxingConversion(info *types.Info, call *ast.CallExpr) (iface, operand types.Type) {
+	if len(call.Args) != 1 {
+		return nil, nil
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || !types.IsInterface(tv.Type) {
+		return nil, nil
+	}
+	opTV, ok := info.Types[call.Args[0]]
+	if !ok || opTV.Type == nil || types.IsInterface(opTV.Type) {
+		return nil, nil
+	}
+	return tv.Type, opTV.Type
+}

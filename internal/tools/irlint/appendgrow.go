@@ -1,0 +1,128 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// AnalyzerAppendGrow enforces the capacity half of the hot-path
+// contract: an append inside a hot loop must write into capacity
+// established before that loop — a make with a computed bound (e.g.
+// min(len(a), len(b)) for an intersection), a slices.Grow, a reslice of
+// a reused buffer, or a caller-supplied destination parameter (the
+// dst-passing kernels put the capacity decision at the call site).
+// Appends whose destination is a plain local with no pre-loop capacity
+// re-grow geometrically every query; `lint:append-ok <reason>` accepts
+// one site.
+func AnalyzerAppendGrow() *Analyzer {
+	return &Analyzer{
+		Name:       "append-grow",
+		Doc:        "appends in hot loops must write into capacity established before the loop",
+		RunProgram: runAppendGrow,
+	}
+}
+
+func runAppendGrow(pr *Program) []Diagnostic {
+	var out []Diagnostic
+	pr.forEachHot(func(p *Package, f *ast.File, fn *flow.Func) {
+		via := pr.Hot().Via(fn.Obj)
+		loops := collectLoops(fn.Decl.Body)
+		if len(loops) == 0 {
+			return
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !flow.IsBuiltin(p.Info, call, "append") || len(call.Args) == 0 {
+				return true
+			}
+			loop := innermostLoop(loops, call.Pos())
+			if loop == nil {
+				return true
+			}
+			dst := flow.BaseVar(p.Info, call.Args[0])
+			if dst == nil {
+				return true // non-variable destination; nothing to track
+			}
+			if isInput(fn.Obj, dst) {
+				return true // caller owns the capacity decision
+			}
+			if establishedBefore(p.Info, fn.Decl.Body, dst, loop.pos) {
+				return true
+			}
+			if sup, bare := p.okWithReason(f, call.Pos(), appendOKDirective); sup {
+				return true
+			} else if bare {
+				out = append(out, p.diag("append-grow", call.Pos(), "%s needs a reason", appendOKDirective))
+				return true
+			}
+			out = append(out, p.diag("append-grow", call.Pos(),
+				"append to %q in a hot loop%s without capacity established before the loop; pre-size it (make/slices.Grow/reslice) or take a caller-supplied dst", dst.Name(), via))
+			return true
+		})
+	})
+	return out
+}
+
+// establishedBefore reports whether v receives known capacity at some
+// point lexically before loopPos: assignment or declaration from a make,
+// slices.Grow, a reslice (including v2[:0] buffer reuse), or a composite
+// literal with fixed length.
+func establishedBefore(info *types.Info, body ast.Node, v *types.Var, loopPos token.Pos) bool {
+	established := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if established {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Pos() >= loopPos {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if flow.BaseVar(info, lhs) != v || i >= len(s.Rhs) {
+					continue
+				}
+				if establishesCap(info, s.Rhs[i]) {
+					established = true
+				}
+			}
+		case *ast.ValueSpec:
+			if s.Pos() >= loopPos {
+				return true
+			}
+			for i, name := range s.Names {
+				if info.Defs[name] != v || i >= len(s.Values) {
+					continue
+				}
+				if establishesCap(info, s.Values[i]) {
+					established = true
+				}
+			}
+		}
+		return true
+	})
+	return established
+}
+
+// establishesCap reports whether rhs yields a slice with caller-chosen
+// capacity.
+func establishesCap(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if flow.IsBuiltin(info, e, "make") {
+			return true
+		}
+		if callee := flow.Callee(info, e); callee != nil && callee.Pkg() != nil &&
+			callee.Pkg().Path() == "slices" && callee.Name() == "Grow" {
+			return true
+		}
+	case *ast.SliceExpr:
+		return true
+	case *ast.CompositeLit:
+		return true
+	}
+	return false
+}

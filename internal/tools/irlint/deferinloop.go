@@ -1,0 +1,90 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+	"repro/internal/tools/irlint/perf"
+)
+
+// AnalyzerDeferInLoop enforces the scheduling half of the hot-path
+// contract: inside a hot loop there must be no defer (each one pushes a
+// record per iteration and runs only at function exit) and no mutex
+// acquire/release — direct, or hidden behind any chain of in-module
+// helpers, resolved through the MayLock fixpoint on the call graph.
+// `lint:defer-ok <reason>` accepts one site (e.g. a loop that runs a
+// bounded number of times outside the per-query part of a hot root).
+func AnalyzerDeferInLoop() *Analyzer {
+	return &Analyzer{
+		Name:       "defer-in-loop",
+		Doc:        "no defer or mutex acquire/release inside hot loops, locks resolved through the call graph",
+		RunProgram: runDeferInLoop,
+	}
+}
+
+func runDeferInLoop(pr *Program) []Diagnostic {
+	var out []Diagnostic
+	var mayLock map[*types.Func]bool // built only if some hot fn has loops
+	pr.forEachHot(func(p *Package, f *ast.File, fn *flow.Func) {
+		via := pr.Hot().Via(fn.Obj)
+		loops := collectLoops(fn.Decl.Body)
+		if len(loops) == 0 {
+			return
+		}
+		if mayLock == nil {
+			mayLock = perf.MayLock(pr.Graph())
+		}
+		// A deferred call is reported once, as the defer finding.
+		deferred := make(map[*ast.CallExpr]bool)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.DeferStmt:
+				if innermostLoop(loops, e.Pos()) == nil {
+					return true
+				}
+				if sup, bare := p.okWithReason(f, e.Pos(), deferOKDirective); sup {
+					return true
+				} else if bare {
+					out = append(out, p.diag("defer-in-loop", e.Pos(), "%s needs a reason", deferOKDirective))
+					return true
+				}
+				out = append(out, p.diag("defer-in-loop", e.Pos(),
+					"defer inside a hot loop%s runs per iteration but fires at function exit; hoist it or restructure", via))
+			case *ast.CallExpr:
+				if deferred[e] || innermostLoop(loops, e.Pos()) == nil {
+					return true
+				}
+				callee := flow.Callee(p.Info, e)
+				if callee == nil {
+					return true
+				}
+				direct := perf.IsLockCall(callee)
+				if !direct && !mayLock[callee] {
+					return true
+				}
+				if sup, bare := p.okWithReason(f, e.Pos(), deferOKDirective); sup {
+					return true
+				} else if bare {
+					out = append(out, p.diag("defer-in-loop", e.Pos(), "%s needs a reason", deferOKDirective))
+					return true
+				}
+				if direct {
+					out = append(out, p.diag("defer-in-loop", e.Pos(),
+						"mutex %s inside a hot loop%s; acquire once outside the loop", callee.Name(), via))
+				} else {
+					out = append(out, p.diag("defer-in-loop", e.Pos(),
+						"%s may acquire a mutex (resolved through the call graph) inside a hot loop%s", callee.Name(), via))
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// AnalyzerIfaceDispatch enforces the dispatch half of the hot-path
+// contract: method calls inside a hot loop must not go through an
+// interface (dynamic dispatch defeats inlining and can box the
+// receiver) unless the interface's declaration is annotated
+// `irlint:hot-iface <reason>` — the project-level statement that this
+// indirection is a deliberate seam — or the call site carries
+// `lint:iface-ok <reason>`. Receivers are resolved via go/types
+// method-set selections, so embedding and pointer receivers are seen
+// through.
+func AnalyzerIfaceDispatch() *Analyzer {
+	return &Analyzer{
+		Name:       "iface-dispatch",
+		Doc:        "no dynamic dispatch through non-annotated interfaces inside hot loops",
+		RunProgram: runIfaceDispatch,
+	}
+}
+
+func runIfaceDispatch(pr *Program) []Diagnostic {
+	var out []Diagnostic
+	blessed := make(map[*types.TypeName]bool)
+	blessedBuilt := false
+	pr.forEachHot(func(p *Package, f *ast.File, fn *flow.Func) {
+		via := pr.Hot().Via(fn.Obj)
+		loops := collectLoops(fn.Decl.Body)
+		if len(loops) == 0 {
+			return
+		}
+		if !blessedBuilt {
+			blessedBuilt = true
+			for _, bp := range pr.Pkgs {
+				collectHotIfaces(bp, blessed)
+			}
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || innermostLoop(loops, call.Pos()) == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			recv := selection.Recv()
+			if !types.IsInterface(recv.Underlying()) {
+				return true
+			}
+			if named, ok := recv.(*types.Named); ok && blessed[named.Obj()] {
+				return true
+			}
+			if sup, bare := p.okWithReason(f, call.Pos(), ifaceOKDirective); sup {
+				return true
+			} else if bare {
+				out = append(out, p.diag("iface-dispatch", call.Pos(), "%s needs a reason", ifaceOKDirective))
+				return true
+			}
+			out = append(out, p.diag("iface-dispatch", call.Pos(),
+				"dynamic dispatch through %s in a hot loop%s; devirtualize, or annotate the interface %s <reason>",
+				recv, via, hotIfaceDirective))
+			return true
+		})
+	})
+	return out
+}
+
+// collectHotIfaces records every interface type in p whose declaration
+// carries irlint:hot-iface with a reason.
+func collectHotIfaces(p *Package, blessed map[*types.TypeName]bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if _, isIface := ts.Type.(*ast.InterfaceType); !isIface {
+				return true
+			}
+			def, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			if found, reason := p.directiveReason(f, ts.Pos(), hotIfaceDirective); found && reason != "" {
+				blessed[def] = true
+			}
+			return true
+		})
+	}
+}

@@ -101,6 +101,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerGoroutineExit(),
 		AnalyzerPublishFreeze(),
 		AnalyzerMetricHygiene(),
+		AnalyzerAllocHot(),
+		AnalyzerAppendGrow(),
+		AnalyzerDeferInLoop(),
+		AnalyzerIfaceDispatch(),
 	}
 }
 
@@ -109,6 +113,13 @@ func Analyzers() []*Analyzer {
 // analyzers share one Program, so the flow graph and its summaries are
 // built at most once.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunOn(NewProgram(pkgs), analyzers)
+}
+
+// RunOn is Run over a caller-built Program — the cmd/irlint driver uses
+// it to attach a lazy escape-fact source before the v4 analyzers run.
+func RunOn(pr *Program, analyzers []*Analyzer) []Diagnostic {
+	pkgs := pr.Pkgs
 	var out []Diagnostic
 	for _, p := range pkgs {
 		for _, a := range analyzers {
@@ -117,7 +128,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
-	pr := NewProgram(pkgs)
 	for _, a := range analyzers {
 		if a.RunProgram != nil {
 			out = append(out, a.RunProgram(pr)...)

@@ -1,0 +1,193 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FactKind classifies one escape diagnostic.
+type FactKind uint8
+
+const (
+	// FactEscapes is a "<expr> escapes to heap" diagnostic: a composite
+	// literal, make, new, boxed interface value, or closure whose storage
+	// the compiler placed on the heap.
+	FactEscapes FactKind = iota
+	// FactMoved is a "moved to heap: <var>" diagnostic: a local variable
+	// forced off the stack because its address outlives the frame.
+	FactMoved
+)
+
+// Fact is one position-keyed heap-allocation fact from the compiler.
+type Fact struct {
+	// File is the absolute path of the source file (or the bare name the
+	// table was built with, for fixture tables).
+	File string
+	// Line and Col locate the allocating expression.
+	Line, Col int
+	Kind      FactKind
+	// Text is the diagnostic message, e.g. "&Iterator{...} escapes to heap".
+	Text string
+}
+
+// Table indexes escape facts by file and line for the range joins the
+// alloc-hot analyzer performs per hot function.
+type Table struct {
+	byFile map[string]map[int][]Fact
+	seen   map[Fact]bool
+}
+
+// NewTable returns an empty fact table.
+func NewTable() *Table {
+	return &Table{
+		byFile: make(map[string]map[int][]Fact),
+		seen:   make(map[Fact]bool),
+	}
+}
+
+// Add records one fact, dropping exact duplicates (the compiler repeats
+// diagnostics for instantiations).
+func (t *Table) Add(f Fact) {
+	if t.seen[f] {
+		return
+	}
+	t.seen[f] = true
+	lines := t.byFile[f.File]
+	if lines == nil {
+		lines = make(map[int][]Fact)
+		t.byFile[f.File] = lines
+	}
+	lines[f.Line] = append(lines[f.Line], f)
+}
+
+// Len reports the number of distinct facts in the table.
+func (t *Table) Len() int { return len(t.seen) }
+
+// InRange returns every fact in file between startLine and endLine
+// inclusive, ordered by line then column.
+func (t *Table) InRange(file string, startLine, endLine int) []Fact {
+	lines := t.byFile[file]
+	if lines == nil {
+		return nil
+	}
+	var out []Fact
+	for ln := startLine; ln <= endLine; ln++ {
+		out = append(out, lines[ln]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// Parse reads `go build -gcflags=-m=2` output and keeps the two
+// heap-allocation diagnostic shapes ("escapes to heap", "moved to
+// heap"); explanation lines, inlining chatter, and "does not escape"
+// notes are dropped. Relative file paths are resolved against root so
+// facts key on the same absolute filenames the loader's FileSet uses.
+func Parse(output []byte, root string) *Table {
+	t := NewTable()
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == ' ' || line[0] == '\t' || line[0] == '#' {
+			continue // indented explanation chains and package banners
+		}
+		file, ln, col, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		kind, ok := classify(msg)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		t.Add(Fact{File: file, Line: ln, Col: col, Kind: kind, Text: msg})
+	}
+	return t
+}
+
+// splitDiag splits "path/file.go:12:7: message" into its parts.
+func splitDiag(line string) (file string, ln, col int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || ln <= 0 {
+		return "", 0, 0, "", false
+	}
+	return file, ln, col, strings.TrimSpace(parts[2]), true
+}
+
+// classify maps a diagnostic message to its fact kind. Messages like
+// "x does not escape" and "inlining call to f" fall through.
+func classify(msg string) (FactKind, bool) {
+	switch {
+	case strings.HasPrefix(msg, "moved to heap:"):
+		return FactMoved, true
+	case strings.HasSuffix(msg, "escapes to heap"):
+		return FactEscapes, true
+	}
+	return 0, false
+}
+
+// Collect runs the gc escape analysis over the module containing dir and
+// parses the diagnostics into a table. The compile output is replayed
+// from the build cache when sources are unchanged, so repeat lint runs
+// pay roughly a cache probe, not a rebuild.
+func Collect(dir string) (*Table, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "build", "-gcflags=./...=-m=2", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		excerpt := out
+		if len(excerpt) > 2048 {
+			excerpt = excerpt[:2048]
+		}
+		return nil, fmt.Errorf("perf: go build -gcflags=-m=2 failed: %v\n%s", err, excerpt)
+	}
+	return Parse(out, root), nil
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("perf: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,224 @@
+package perf
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// Annotation vocabulary. Both live on the function declaration line or
+// the last ordinary line of its doc comment (compiler directives like
+// //go:noinline below the annotation are skipped) and require a stated
+// reason.
+const (
+	// HotDirective marks a query-path root: the function and everything
+	// statically reachable from it in-module is held to the v4
+	// performance contracts.
+	HotDirective = "irlint:hot"
+	// ColdDirective prunes propagation: the annotated function is
+	// statically reachable from a hot root but never on the per-query
+	// fast path (parallel fan-out, bulk-load finalization, panic
+	// formatting), so the contracts stop at its boundary.
+	ColdDirective = "irlint:cold"
+)
+
+// Problem is an annotation-hygiene finding surfaced while computing the
+// hot set (missing reason, contradictory hot+cold) — reported through
+// the alloc-hot analyzer so it gates like any other diagnostic.
+type Problem struct {
+	Pos     token.Position
+	Message string
+}
+
+// HotSet is the transitive closure of the irlint:hot roots over the
+// flow call graph, minus the irlint:cold frontier.
+type HotSet struct {
+	// rootOf maps every hot function to the annotated root that first
+	// reached it (roots map to themselves).
+	rootOf map[*types.Func]*flow.Func
+	// reason holds the stated rationale per root.
+	reason map[*types.Func]string
+	// cold holds the stated rationale per cold-annotated function.
+	cold map[*types.Func]string
+	// Problems lists annotation-hygiene findings.
+	Problems []Problem
+}
+
+// ComputeHot scans every declaration in the graph for hot/cold
+// annotations and propagates hotness breadth-first through in-module
+// call edges, stopping at cold functions.
+func ComputeHot(g *flow.Graph) *HotSet {
+	h := &HotSet{
+		rootOf: make(map[*types.Func]*flow.Func),
+		reason: make(map[*types.Func]string),
+		cold:   make(map[*types.Func]string),
+	}
+	comments := make(map[*flow.Unit]map[*ast.File]map[int]string)
+	var roots []*flow.Func
+	for _, fn := range g.Funcs() {
+		if fn.Decl == nil || fn.Obj == nil {
+			continue
+		}
+		pos := fn.Decl.Pos()
+		hot, hotReason, hotOK := directiveAt(comments, fn.Unit, pos, HotDirective)
+		cold, coldReason, coldOK := directiveAt(comments, fn.Unit, pos, ColdDirective)
+		at := fn.Unit.Fset.Position(pos)
+		if hot && cold {
+			h.Problems = append(h.Problems, Problem{at, fmt.Sprintf(
+				"%s is annotated both %s and %s; pick one", fn.Obj.Name(), HotDirective, ColdDirective)})
+			continue
+		}
+		if hot {
+			if !hotOK {
+				h.Problems = append(h.Problems, Problem{at, fmt.Sprintf(
+					"%s annotation on %s needs a reason: %s <why this is on the per-query fast path>",
+					HotDirective, fn.Obj.Name(), HotDirective)})
+			}
+			h.reason[fn.Obj] = hotReason
+			roots = append(roots, fn)
+		}
+		if cold {
+			if !coldOK {
+				h.Problems = append(h.Problems, Problem{at, fmt.Sprintf(
+					"%s annotation on %s needs a reason: %s <why the query path never takes this branch>",
+					ColdDirective, fn.Obj.Name(), ColdDirective)})
+			}
+			h.cold[fn.Obj] = coldReason
+		}
+	}
+	queue := make([]*flow.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, isCold := h.cold[r.Obj]; isCold {
+			continue
+		}
+		h.rootOf[r.Obj] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := h.rootOf[fn.Obj]
+		for _, call := range fn.Calls {
+			callee := g.FuncOf(call.Callee)
+			if callee == nil { // out-of-module or bodyless
+				continue
+			}
+			if _, isCold := h.cold[callee.Obj]; isCold {
+				continue
+			}
+			if _, seen := h.rootOf[callee.Obj]; seen {
+				continue
+			}
+			h.rootOf[callee.Obj] = root
+			queue = append(queue, callee)
+		}
+	}
+	return h
+}
+
+// Empty reports whether no function is hot.
+func (h *HotSet) Empty() bool { return len(h.rootOf) == 0 }
+
+// IsHot reports whether obj is on the hot path.
+func (h *HotSet) IsHot(obj *types.Func) bool {
+	_, ok := h.rootOf[obj]
+	return ok
+}
+
+// RootOf returns the annotated root whose closure contains obj, or nil.
+func (h *HotSet) RootOf(obj *types.Func) *flow.Func {
+	return h.rootOf[obj]
+}
+
+// Via renders the provenance suffix for diagnostics: "" for a root
+// itself, " (hot via Root)" for propagated members.
+func (h *HotSet) Via(obj *types.Func) string {
+	root := h.rootOf[obj]
+	if root == nil || root.Obj == obj {
+		return ""
+	}
+	return fmt.Sprintf(" (hot via %s)", root.Obj.Name())
+}
+
+// directiveAt reports whether directive annotates the line of pos or the
+// line above it in the unit's comments, plus the trimmed trailing reason
+// and whether that reason is non-empty.
+func directiveAt(cache map[*flow.Unit]map[*ast.File]map[int]string, u *flow.Unit, pos token.Pos, directive string) (found bool, reason string, ok bool) {
+	files := cache[u]
+	if files == nil {
+		files = make(map[*ast.File]map[int]string)
+		cache[u] = files
+	}
+	var f *ast.File
+	for _, cand := range u.Files {
+		if cand.FileStart <= pos && pos < cand.FileEnd {
+			f = cand
+			break
+		}
+	}
+	if f == nil {
+		return false, "", false
+	}
+	lines := files[f]
+	if lines == nil {
+		lines = make(map[int]string)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ln := u.Fset.Position(c.Pos()).Line
+				lines[ln] += " " + c.Text
+			}
+		}
+		files[f] = lines
+	}
+	// Candidate lines: the declaration line, then upward through the doc
+	// comment — past any compiler directives (//go:noinline and friends),
+	// which gofmt pins to the bottom of the block, to the first ordinary
+	// comment line. So "// irlint:cold why" above "//go:noinline" above
+	// the func still annotates it.
+	ln := u.Fset.Position(pos).Line
+	cands := []int{ln}
+	for l := ln - 1; ; l-- {
+		txt, isComment := lines[l]
+		if !isComment {
+			break
+		}
+		cands = append(cands, l)
+		if !compilerDirectiveOnly(txt) {
+			break
+		}
+	}
+	for _, l := range cands {
+		i := strings.Index(lines[l], directive)
+		if i < 0 {
+			continue
+		}
+		// Word boundary: "irlint:hot-iface" must not read as "irlint:hot".
+		if tail := lines[l][i+len(directive):]; tail != "" && (tail[0] == '-' || isWordByte(tail[0])) {
+			continue
+		}
+		rest := strings.TrimSpace(lines[l][i+len(directive):])
+		rest = strings.TrimSpace(strings.TrimSuffix(rest, "*/"))
+		return true, rest, rest != ""
+	}
+	return false, "", false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// compilerDirectiveOnly reports whether a comment line carries nothing
+// but toolchain directives ("//go:noinline", "//line ...") or is blank.
+func compilerDirectiveOnly(line string) bool {
+	for _, f := range strings.Fields(line) {
+		if f == "//" || strings.HasPrefix(f, "//go:") || strings.HasPrefix(f, "//line") {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// IsLockCall reports whether call is a direct sync.Mutex / sync.RWMutex
+// acquire or release (Lock, Unlock, RLock, RUnlock, TryLock, TryRLock).
+func IsLockCall(callee *types.Func) bool {
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if !flow.IsNamed(recv, "sync", "Mutex") && !flow.IsNamed(recv, "sync", "RWMutex") {
+		return false
+	}
+	switch callee.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// MayLock computes the set of in-module functions that may acquire or
+// release a mutex, directly or through any chain of in-module callees —
+// the join defer-in-loop uses so `h.helper()` inside a hot loop is
+// rejected when helper locks three calls down.
+func MayLock(g *flow.Graph) map[*types.Func]bool {
+	locks := make(map[*types.Func]bool)
+	for _, fn := range g.Funcs() {
+		if fn.Decl == nil || fn.Decl.Body == nil {
+			continue
+		}
+		direct := false
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if IsLockCall(flow.Callee(fn.Unit.Info, call)) {
+				direct = true
+			}
+			return true
+		})
+		if direct {
+			locks[fn.Obj] = true
+		}
+	}
+	// Propagate caller <- callee to a fixpoint: a function may lock if
+	// any in-module callee may lock.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs() {
+			if locks[fn.Obj] {
+				continue
+			}
+			for _, call := range fn.Calls {
+				if locks[call.Callee] {
+					locks[fn.Obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return locks
+}

@@ -1,0 +1,20 @@
+// Package perf is irlint's performance-contract substrate. It supplies
+// the two facts the v4 analyzers (alloc-hot, append-grow, defer-in-loop,
+// iface-dispatch) join against the flow call graph:
+//
+//   - an escape-fact table parsed from the gc compiler's own escape
+//     diagnostics (`go build -gcflags=./...=-m=2 ./...`), keyed by file
+//     and line so findings land on the allocation site, not the function;
+//   - the hot set: every function reachable in the static call graph
+//     from an `irlint:hot <reason>` root, with `irlint:cold <reason>`
+//     annotations pruning propagation into paths that are statically
+//     reachable but never on the per-query fast path (parallel fan-out
+//     variants, bulk-load finalization, panic formatting).
+//
+// The package also carries the mutex fixpoint (MayLock) defer-in-loop
+// uses to reject lock acquisition hidden behind in-module helpers.
+//
+// Like the rest of the suite it is stdlib-only; collecting escape facts
+// shells out to the already-present go toolchain and is replayed from
+// the build cache on every run after the first.
+package perf

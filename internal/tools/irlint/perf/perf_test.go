@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"testing"
+)
+
+const sampleM2 = `# repro/internal/postings
+internal/postings/postings.go:72:12: parameter l leaks to {heap} with derefs=0:
+internal/postings/postings.go:72:12:   flow: {heap} = l:
+internal/postings/postings.go:72:12: l escapes to heap
+internal/postings/postings.go:156:13: make([]model.ObjectID, 0, total) escapes to heap
+internal/postings/postings.go:40:6: can inline TemporalFilter with cost 74
+internal/postings/postings.go:44:21: dst does not escape
+internal/rank/rank.go:122:12: moved to heap: h
+internal/rank/rank.go:122:12: moved to heap: h
+/abs/other.go:9:3: []float64{...} escapes to heap
+garbage line without position
+internal/x/x.go:bad:3: nonsense escapes to heap
+`
+
+func TestParse(t *testing.T) {
+	tbl := Parse([]byte(sampleM2), "/mod")
+	if got, want := tbl.Len(), 4; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	facts := tbl.InRange("/mod/internal/postings/postings.go", 1, 200)
+	if len(facts) != 2 {
+		t.Fatalf("postings facts = %d, want 2 (%v)", len(facts), facts)
+	}
+	if facts[0].Line != 72 || facts[0].Kind != FactEscapes || facts[0].Text != "l escapes to heap" {
+		t.Errorf("first fact = %+v", facts[0])
+	}
+	if facts[1].Line != 156 || facts[1].Text != "make([]model.ObjectID, 0, total) escapes to heap" {
+		t.Errorf("second fact = %+v", facts[1])
+	}
+	// "moved to heap" dedups and classifies.
+	moved := tbl.InRange("/mod/internal/rank/rank.go", 122, 122)
+	if len(moved) != 1 || moved[0].Kind != FactMoved {
+		t.Errorf("moved facts = %+v, want one FactMoved", moved)
+	}
+	// Absolute paths stay absolute.
+	if got := tbl.InRange("/abs/other.go", 9, 9); len(got) != 1 {
+		t.Errorf("absolute-path fact missing: %v", got)
+	}
+}
+
+func TestParseDropsNonAllocationDiagnostics(t *testing.T) {
+	out := `internal/a/a.go:5:2: can inline f
+internal/a/a.go:6:2: x does not escape
+internal/a/a.go:7:2: inlining call to g
+internal/a/a.go:8:2: leaking param: p
+`
+	if tbl := Parse([]byte(out), "/m"); tbl.Len() != 0 {
+		t.Fatalf("expected no facts, got %d", tbl.Len())
+	}
+}
+
+func TestInRangeBounds(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Fact{File: "f.go", Line: 10, Col: 1, Kind: FactEscapes, Text: "a escapes to heap"})
+	tbl.Add(Fact{File: "f.go", Line: 20, Col: 1, Kind: FactEscapes, Text: "b escapes to heap"})
+	if got := tbl.InRange("f.go", 11, 19); len(got) != 0 {
+		t.Errorf("out-of-range lookup returned %v", got)
+	}
+	if got := tbl.InRange("f.go", 10, 20); len(got) != 2 {
+		t.Errorf("in-range lookup returned %v", got)
+	}
+	if got := tbl.InRange("other.go", 1, 100); got != nil {
+		t.Errorf("unknown file returned %v", got)
+	}
+}
+
+func TestModuleRootFindsGoMod(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatalf("moduleRoot: %v", err)
+	}
+	// This test file lives four levels below the module root.
+	if root == "" {
+		t.Fatal("empty root")
+	}
+}

@@ -1,0 +1,655 @@
+package irlint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tools/irlint/perf"
+)
+
+// runV4 runs one performance-contract analyzer over a single-package
+// program. Escape facts are injected from "// ESC: <message>" markers in
+// the fixture source: each marked line contributes one fact at that
+// line, standing in for the compiler's -m=2 output so fixtures never
+// shell out to the toolchain.
+func runV4(t *testing.T, analyzer string, src string, p *Package) []Diagnostic {
+	t.Helper()
+	a := analyzerByName(t, analyzer)
+	if a.RunProgram == nil {
+		t.Fatalf("analyzer %q is not whole-program", analyzer)
+	}
+	pr := NewProgram([]*Package{p})
+	tbl := perf.NewTable()
+	for i, line := range strings.Split(src, "\n") {
+		if j := strings.Index(line, "// ESC:"); j >= 0 {
+			msg := strings.TrimSpace(line[j+len("// ESC:"):])
+			kind := perf.FactEscapes
+			if strings.HasPrefix(msg, "moved to heap") {
+				kind = perf.FactMoved
+			}
+			tbl.Add(perf.Fact{File: "fixture.go", Line: i + 1, Col: 2, Kind: kind, Text: msg})
+		}
+	}
+	pr.Escapes = tbl
+	return a.RunProgram(pr)
+}
+
+// TestV4Analyzers drives the four performance-contract analyzers over
+// firing and silent fixtures: each must catch its bug shape and stay
+// quiet on the conforming idiom.
+func TestV4Analyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer string
+		src      string
+		want     int
+		contains []string
+	}{
+		// ---- alloc-hot: firing ----
+		{
+			name:     "escape fact in hot function flagged",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query intersection kernel
+func Intersect(a, b []int) []int {
+	out := make([]int, 0, len(a)) // ESC: make([]int, 0, len(a)) escapes to heap
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"heap allocation on hot path", "escapes to heap"},
+		},
+		{
+			name:     "escape fact propagates to helper callee through the graph",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query root
+func Query(a []int) []int {
+	return scratch(len(a))
+}
+
+func scratch(n int) []int {
+	buf := make([]int, n) // ESC: make([]int, n) escapes to heap
+	return buf
+}
+`,
+			want:     1,
+			contains: []string{"hot via Query"},
+		},
+		{
+			name:     "fmt call in hot function flagged",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+import "fmt"
+
+// irlint:hot per-query scoring
+func Score(ids []int) string {
+	return fmt.Sprintf("%d", len(ids))
+}
+`,
+			want:     1,
+			contains: []string{"fmt.Sprintf call on hot path"},
+		},
+		{
+			name:     "string concat in hot loop flagged",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query key build
+func Keys(parts []string) string {
+	var k string
+	for _, p := range parts {
+		k = k + p
+	}
+	return k
+}
+`,
+			want:     1,
+			contains: []string{"string concatenation in a hot loop"},
+		},
+		{
+			name:     "interface boxing conversion in hot function flagged",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query compare
+func Box(x int) any {
+	return any(x)
+}
+`,
+			want:     1,
+			contains: []string{"boxes int into interface"},
+		},
+		{
+			name:     "hot annotation without reason flagged",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot
+func Kernel(a []int) int { return len(a) }
+`,
+			want:     1,
+			contains: []string{"needs a reason"},
+		},
+		{
+			name:     "bare alloc-ok on escape fact needs a reason",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query kernel
+func Kernel(a []int) []int {
+	// lint:alloc-ok
+	out := make([]int, len(a)) // ESC: make([]int, len(a)) escapes to heap
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"lint:alloc-ok needs a reason"},
+		},
+		// ---- alloc-hot: silent ----
+		{
+			name:     "escape fact outside the hot set is ignored",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+func Build(n int) []int {
+	out := make([]int, n) // ESC: make([]int, n) escapes to heap
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "alloc-ok with reason suppresses the fact",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query kernel
+func Kernel(a []int) []int {
+	// lint:alloc-ok single pre-sized output buffer per query
+	out := make([]int, 0, len(a)) // ESC: make([]int, 0, len(a)) escapes to heap
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "cold annotation stops propagation into slow paths",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query root
+func Query(a []int) []int {
+	if len(a) > 1000 {
+		return fanOut(a)
+	}
+	return a
+}
+
+// irlint:cold parallel fan-out taken only for huge inputs
+func fanOut(a []int) []int {
+	buf := make([]int, len(a)) // ESC: make([]int, len(a)) escapes to heap
+	copy(buf, a)
+	return buf
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "cold annotation above a compiler directive still counts",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query root
+func Query(a []int) []int {
+	if len(a) > 1000 {
+		return fanOut(a)
+	}
+	return a
+}
+
+// irlint:cold parallel fan-out taken only for huge inputs
+//
+//go:noinline
+func fanOut(a []int) []int {
+	buf := make([]int, len(a)) // ESC: make([]int, len(a)) escapes to heap
+	copy(buf, a)
+	return buf
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "string concat outside a loop conforms",
+			analyzer: "alloc-hot",
+			src: `package fix
+
+// irlint:hot per-query label
+func Label(a, b string) string {
+	return a + b
+}
+`,
+			want: 0,
+		},
+		// ---- append-grow: firing ----
+		{
+			name:     "append to bare local in hot loop flagged",
+			analyzer: "append-grow",
+			src: `package fix
+
+// irlint:hot per-query intersection
+func Intersect(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"without capacity established before the loop"},
+		},
+		{
+			name:     "append to unsized local in propagated hot helper flagged",
+			analyzer: "append-grow",
+			src: `package fix
+
+// irlint:hot per-query root
+func Query(a []int) []int { return collect(a) }
+
+func collect(a []int) []int {
+	var acc []int
+	for i := 0; i < len(a); i++ {
+		acc = append(acc, a[i])
+	}
+	return acc
+}
+`,
+			want:     1,
+			contains: []string{"hot via Query"},
+		},
+		{
+			name:     "bare append-ok needs a reason",
+			analyzer: "append-grow",
+			src: `package fix
+
+// irlint:hot per-query kernel
+func Kernel(a []int) []int {
+	var out []int
+	for _, x := range a {
+		out = append(out, x) // lint:append-ok
+	}
+	return out
+}
+`,
+			want:     1,
+			contains: []string{"lint:append-ok needs a reason"},
+		},
+		// ---- append-grow: silent ----
+		{
+			name:     "make with computed bound before the loop conforms",
+			analyzer: "append-grow",
+			src: `package fix
+
+// irlint:hot per-query intersection
+func Intersect(a, b []int) []int {
+	out := make([]int, 0, min(len(a), len(b)))
+	for _, x := range a {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "append into caller-supplied dst parameter conforms",
+			analyzer: "append-grow",
+			src: `package fix
+
+// irlint:hot per-query filter
+func Filter(a []int, dst []int) []int {
+	for _, x := range a {
+		dst = append(dst, x)
+	}
+	return dst
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "reslice of a reused buffer before the loop conforms",
+			analyzer: "append-grow",
+			src: `package fix
+
+var scratch []int
+
+// irlint:hot per-query kernel reusing package scratch
+func Kernel(a []int) []int {
+	out := scratch[:0]
+	for _, x := range a {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "append in non-hot function conforms",
+			analyzer: "append-grow",
+			src: `package fix
+
+func Build(a []int) []int {
+	var out []int
+	for _, x := range a {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		// ---- defer-in-loop: firing ----
+		{
+			name:     "defer inside hot loop flagged",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+import "sync"
+
+// irlint:hot per-query scan
+func Scan(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+`,
+			want:     2,
+			contains: []string{"defer inside a hot loop", "mutex Lock inside a hot loop"},
+		},
+		{
+			name:     "direct mutex acquire in hot loop flagged",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+import "sync"
+
+type S struct{ mu sync.RWMutex }
+
+// irlint:hot per-query read
+func (s *S) Read(keys []int) int {
+	n := 0
+	for range keys {
+		s.mu.RLock()
+		n++
+		s.mu.RUnlock()
+	}
+	return n
+}
+`,
+			want:     2,
+			contains: []string{"mutex RLock inside a hot loop", "mutex RUnlock inside a hot loop"},
+		},
+		{
+			name:     "helper that locks three calls down flagged through the graph",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) outer() { s.inner() }
+func (s *S) inner() { s.locked() }
+func (s *S) locked() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// irlint:hot per-query probe
+func (s *S) Probe(keys []int) {
+	for range keys {
+		s.outer()
+	}
+}
+`,
+			want:     1,
+			contains: []string{"outer may acquire a mutex (resolved through the call graph) inside a hot loop"},
+		},
+		// ---- defer-in-loop: silent ----
+		{
+			name:     "defer outside the loop conforms",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+// irlint:hot per-query read under one lock
+func (s *S) Read(keys []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for range keys {
+		n++
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "lock-free helper in hot loop conforms",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+func double(x int) int { return 2 * x }
+
+// irlint:hot per-query map
+func Map(a []int) {
+	for i := range a {
+		a[i] = double(a[i])
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "defer-ok with reason conforms",
+			analyzer: "defer-in-loop",
+			src: `package fix
+
+import "sync"
+
+// irlint:hot batch setup loop runs once per shard, not per posting
+func Setup(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock() // lint:defer-ok bounded shard-count loop, not per-posting
+	}
+}
+`,
+			want: 0,
+		},
+		// ---- iface-dispatch: firing ----
+		{
+			name:     "interface method call in hot loop flagged",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Source interface{ Next() (int, bool) }
+
+// irlint:hot per-query drain
+func Drain(s Source) int {
+	n := 0
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+`,
+			want:     1,
+			contains: []string{"dynamic dispatch through"},
+		},
+		{
+			name:     "interface field dispatch in hot loop flagged",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Scorer interface{ Score(int) float64 }
+
+type Ranker struct{ s Scorer }
+
+// irlint:hot per-query rank
+func (r *Ranker) Rank(ids []int) float64 {
+	total := 0.0
+	for _, id := range ids {
+		total += r.s.Score(id)
+	}
+	return total
+}
+`,
+			want:     1,
+			contains: []string{"Scorer in a hot loop"},
+		},
+		{
+			name:     "bare iface-ok needs a reason",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Source interface{ Next() (int, bool) }
+
+// irlint:hot per-query drain
+func Drain(s Source) int {
+	n := 0
+	for {
+		v, ok := s.Next() // lint:iface-ok
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+`,
+			want:     1,
+			contains: []string{"lint:iface-ok needs a reason"},
+		},
+		// ---- iface-dispatch: silent ----
+		{
+			name:     "concrete method call in hot loop conforms",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Counter struct{ n int }
+
+func (c *Counter) Add(v int) { c.n += v }
+
+// irlint:hot per-query tally
+func Tally(a []int) int {
+	var c Counter
+	for _, v := range a {
+		c.Add(v)
+	}
+	return c.n
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "hot-iface annotated interface conforms",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+// Source is the deliberate pluggable-decoder seam.
+// irlint:hot-iface decoder families are selected per division; one indirect call per posting is the design
+type Source interface{ Next() (int, bool) }
+
+// irlint:hot per-query drain
+func Drain(s Source) int {
+	n := 0
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "iface-ok with reason conforms",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Source interface{ Next() (int, bool) }
+
+// irlint:hot per-query drain
+func Drain(s Source) int {
+	n := 0
+	for {
+		v, ok := s.Next() // lint:iface-ok one virtual call per posting is the measured-cheap seam
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "interface call outside any loop conforms",
+			analyzer: "iface-dispatch",
+			src: `package fix
+
+type Source interface{ Next() (int, bool) }
+
+// irlint:hot per-query peek
+func Peek(s Source) (int, bool) {
+	return s.Next()
+}
+`,
+			want: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := checkFixture(t, ModulePath+"/internal/fix", tc.src)
+			diags := runV4(t, tc.analyzer, tc.src, p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), tc.want, diagLines(diags))
+			}
+			for _, sub := range tc.contains {
+				found := false
+				for _, d := range diags {
+					if strings.Contains(d.Message, sub) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("no diagnostic contains %q:\n%s", sub, diagLines(diags))
+				}
+			}
+		})
+	}
+}
+
+func diagLines(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package irlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/irlint/flow"
+)
+
+// The v4 (performance-contract) analyzers share this vocabulary, all of
+// it placed on the flagged line or the line directly above:
+//
+//   - irlint:hot <reason> / irlint:cold <reason> on function
+//     declarations define the hot set (see internal/tools/irlint/perf);
+//   - irlint:hot-iface <reason> on an interface type declaration blesses
+//     dynamic dispatch through it inside hot loops;
+//   - lint:alloc-ok / lint:append-ok / lint:defer-ok / lint:iface-ok
+//     <reason> suppress one finding at one site, reason required.
+
+const (
+	hotIfaceDirective = "irlint:hot-iface"
+	allocOKDirective  = "lint:alloc-ok"
+	appendOKDirective = "lint:append-ok"
+	deferOKDirective  = "lint:defer-ok"
+	ifaceOKDirective  = "lint:iface-ok"
+)
+
+// forEachHot invokes visit for every hot function declared in a loaded
+// package, paired with its package and containing file. It is a no-op
+// when no irlint:hot root exists, so programs without perf annotations
+// (fixtures, the linter's own tree) never pay for graph joins.
+func (pr *Program) forEachHot(visit func(p *Package, f *ast.File, fn *flow.Func)) {
+	hot := pr.Hot()
+	if hot.Empty() {
+		return
+	}
+	for _, fn := range pr.Graph().Funcs() {
+		if fn.Decl == nil || fn.Decl.Body == nil || !hot.IsHot(fn.Obj) {
+			continue
+		}
+		p := pr.PackageOf(fn)
+		if p == nil {
+			continue
+		}
+		visit(p, p.fileOf(fn.Decl.Pos()), fn)
+	}
+}
+
+// okWithReason reports whether an escape-hatch directive with a stated
+// reason annotates pos; a bare directive does not suppress (the caller
+// should emit a needs-reason finding instead).
+func (p *Package) okWithReason(f *ast.File, pos token.Pos, directive string) (suppressed, bare bool) {
+	found, reason := p.directiveReason(f, pos, directive)
+	if !found {
+		return false, false
+	}
+	return reason != "", reason == ""
+}
+
+// okLine is okWithReason keyed by a raw line number — escape facts carry
+// file:line positions, not token.Pos.
+func (p *Package) okLine(f *ast.File, line int, directive string) (suppressed, bare bool) {
+	if f == nil {
+		return false, false
+	}
+	// Prime the same per-line comment cache allowed() builds.
+	p.allowed(f, f.Pos(), "\x00never-matches")
+	lines := p.directives[f]
+	for _, l := range []int{line, line - 1} {
+		for _, text := range lines[l] {
+			i := indexDirective(text, directive)
+			if i < 0 {
+				continue
+			}
+			rest := text[i+len(directive):]
+			rest = trimReason(rest)
+			return rest != "", rest == ""
+		}
+	}
+	return false, false
+}
+
+// posRange is a half-open source region.
+type posRange struct{ start, end token.Pos }
+
+func (r posRange) contains(pos token.Pos) bool { return r.start <= pos && pos < r.end }
+
+// loopRegion is one for/range statement's per-iteration extent: the
+// regions re-executed every iteration (cond + post + body for a ForStmt;
+// body only for a RangeStmt, whose range expression runs once).
+type loopRegion struct {
+	// pos is the `for` keyword — capacity establishment must lexically
+	// precede it to count as "before the loop".
+	pos     token.Pos
+	regions []posRange
+}
+
+func (l *loopRegion) contains(pos token.Pos) bool {
+	for _, r := range l.regions {
+		if r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectLoops gathers every loop in body, including loops inside nested
+// function literals (a closure's loop still runs per call on the hot path).
+func collectLoops(body ast.Node) []loopRegion {
+	var out []loopRegion
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			l := loopRegion{pos: s.Pos()}
+			if s.Cond != nil {
+				l.regions = append(l.regions, posRange{s.Cond.Pos(), s.Cond.End()})
+			}
+			if s.Post != nil {
+				l.regions = append(l.regions, posRange{s.Post.Pos(), s.Post.End()})
+			}
+			l.regions = append(l.regions, posRange{s.Body.Pos(), s.Body.End()})
+			out = append(out, l)
+		case *ast.RangeStmt:
+			out = append(out, loopRegion{pos: s.Pos(), regions: []posRange{{s.Body.Pos(), s.Body.End()}}})
+		}
+		return true
+	})
+	return out
+}
+
+// innermostLoop returns the tightest loop whose per-iteration extent
+// contains pos, or nil. Loops are nested lexically, so the latest `for`
+// keyword among containing loops is the innermost.
+func innermostLoop(loops []loopRegion, pos token.Pos) *loopRegion {
+	var best *loopRegion
+	for i := range loops {
+		l := &loops[i]
+		if l.contains(pos) && (best == nil || l.pos > best.pos) {
+			best = l
+		}
+	}
+	return best
+}
+
+// isInput reports whether v is a parameter or receiver of fn — the
+// caller-owns-capacity exemption for append-grow.
+func isInput(fn *types.Func, v *types.Var) bool {
+	for _, in := range flow.Inputs(fn) {
+		if in == v {
+			return true
+		}
+	}
+	return false
+}
+
+// indexDirective locates directive in a comment's text, or -1.
+func indexDirective(text, directive string) int {
+	return strings.Index(text, directive)
+}
+
+// trimReason normalizes the text following a directive into the stated
+// reason: whitespace- and block-comment-terminator-trimmed.
+func trimReason(s string) string {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "*/")
+	return strings.TrimSpace(s)
+}
+
+// calleePkgIs reports whether call resolves to a function in pkgPath.
+func calleePkgIs(info *types.Info, call *ast.CallExpr, pkgPath string) (*types.Func, bool) {
+	callee := flow.Callee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != pkgPath {
+		return nil, false
+	}
+	return callee, true
+}
