@@ -32,7 +32,9 @@ invariants:
 # before/after-compaction series, the observability overhead + per-stage
 # breakdown, then the post-lint-sweep snapshot confirming the v3
 # annotation/ctx fixes did not regress qps, then the post-allocation-
-# contract snapshot, diffed against its predecessor by benchdiff).
+# contract snapshot, then the bitmap-container + adaptive-router
+# snapshot (routejson adds the routed method row and per-regime routing
+# quality), each diffed against its predecessor by benchdiff.
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
@@ -40,15 +42,17 @@ bench:
 	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr6.json
 	$(GO) run ./cmd/irbench -exp obsjson -scale 0.02 -queries 300 -seed 42 -stages -json BENCH_pr7.json
 	$(GO) run ./cmd/benchdiff -old BENCH_pr6.json -new BENCH_pr7.json
+	$(GO) run ./cmd/irbench -exp routejson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr8.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr7.json -new BENCH_pr8.json
 
 # Re-measure the hot-path allocation budgets (BENCH_BUDGET.json), then
 # re-run the gate against the fresh numbers. -p 1 keeps the in-process
 # benchmarks off shared cores; -count=1 defeats test caching.
 benchmem:
 	ALLOC_BUDGET_RECORD=1 $(GO) test -run TestAllocBudget -count=1 -p 1 \
-		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route
 	$(GO) test -run TestAllocBudget -count=1 -p 1 \
-		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:
@@ -58,6 +62,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzIterator -fuzztime=30s ./internal/compress/
 	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/textutil/
 	$(GO) test -fuzz=FuzzIntersect -fuzztime=30s ./internal/postings/
+	$(GO) test -fuzz=FuzzContainerParity -fuzztime=30s ./internal/postings/
+	$(GO) test -fuzz=FuzzGallopParity -fuzztime=30s ./internal/postings/
 	$(GO) test -fuzz=FuzzDomainRoundTrip -fuzztime=30s ./internal/domain/
 
 examples:

@@ -11,6 +11,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/rank"
+	"repro/internal/route"
 )
 
 // Builder accumulates objects described by string terms, interning them
@@ -68,6 +69,11 @@ type Engine struct {
 	method Method
 	opts   Options
 
+	// router is the adaptive cost model shared by every generation of a
+	// Routed engine (nil otherwise). The pointer is immutable after
+	// construction; the router's own state is atomic.
+	router *route.Router
+
 	// dmu guards only the dictionary: term interning on Insert vs. term
 	// resolution on the search surface. Critical sections are tiny (map
 	// lookups), never held across index scans.
@@ -93,17 +99,33 @@ func newEngine(d *dict.Dictionary, coll *Collection, m Method, opts Options) (*E
 	if err != nil {
 		return nil, err
 	}
+	var router *route.Router
+	if ri, ok := ix.(*route.Index); ok {
+		router = ri.Router()
+	}
 	build := func(ctx context.Context, c *model.Collection) (maint.Index, error) {
 		// Index construction itself is not interruptible, so honor a
 		// cancellation that arrived before the rebuild started.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return NewIndex(m, c, opts)
+		nix, err := NewIndex(m, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ri, ok := nix.(*route.Index); ok {
+			// Carry the learned cost model across the compaction
+			// rebuild. The new index has not been published yet — the
+			// store swaps it in only after this hook returns — so the
+			// mutation happens strictly before any reader can see it.
+			ri.AdoptRouter(router)
+		}
+		return nix, nil
 	}
 	return &Engine{
 		method: m,
 		opts:   opts,
+		router: router,
 		dict:   d,
 		store:  maint.NewStore(coll, ix, build),
 	}, nil

@@ -79,6 +79,7 @@ func Experiments() []Experiment {
 		{"perfjson", "Deterministic per-method perf snapshot written as JSON", RunPerfJSON},
 		{"tombstone", "Tombstone load: query latency vs deleted fraction, before/after compaction", RunTombstone},
 		{"obsjson", "Observability: disabled-trace overhead budget + per-stage query breakdown", RunObsJSON},
+		{"routejson", "Adaptive routing: per-regime throughput + router hit-rate vs best sub-build", RunRouteJSON},
 	}
 }
 
@@ -223,6 +224,8 @@ func shortName(m temporalir.Method) string {
 		return "irHINT (perf)"
 	case temporalir.IRHintSize:
 		return "irHINT (size)"
+	case temporalir.Routed:
+		return "routed"
 	default:
 		return string(m)
 	}

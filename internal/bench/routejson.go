@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	temporalir "repro"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/route"
+)
+
+// RouteRegime is one per-regime row of the routing artifact: the routed
+// index's throughput on a workload pinned to one Section 5 regime,
+// against the best single routed sub-build on the same workload, plus
+// where the router actually sent the queries.
+type RouteRegime struct {
+	Regime     string  `json:"regime"`
+	ExtentFrac float64 `json:"extent_frac"`
+	NumElems   int     `json:"num_elems"`
+	// FreqBin indexes gen.FreqBins, -1 = the default seeded mix.
+	FreqBin    int     `json:"freq_bin"`
+	RoutedQPS  float64 `json:"routed_qps"`
+	BestMethod string  `json:"best_method"`
+	BestQPS    float64 `json:"best_qps"`
+	// RoutedVsBest is RoutedQPS / BestQPS — how close routing gets to
+	// the per-regime oracle that always picks the fastest build.
+	RoutedVsBest float64 `json:"routed_vs_best"`
+	// Decisions counts this regime's routing decisions by sub-method.
+	Decisions map[string]uint64 `json:"decisions"`
+	// HitRate is the fraction of decisions that chose BestMethod.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// RouteReport is the BENCH_pr8.json schema. Methods carries the same
+// untraced_queries_per_sec rows as the obsjson snapshots (so
+// cmd/benchdiff gates this artifact against BENCH_pr7.json directly),
+// extended with a "routed" row; Regimes carries the router evaluation.
+type RouteReport struct {
+	Scale         float64       `json:"scale"`
+	NumQueries    int           `json:"num_queries"`
+	Seed          int64         `json:"seed"`
+	Objects       int           `json:"objects"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	Methods       []ObsMethod   `json:"methods"`
+	RoutedMethods []string      `json:"routed_methods"`
+	Regimes       []RouteRegime `json:"regimes"`
+}
+
+// routeRegimes are the pinned workloads of the router evaluation,
+// following the paper's extent / |q.d| / frequency sweeps: the default
+// mix, the small- and large-extent ends of the extent sweep, the dense
+// regime (frequent elements, wide intervals — where the bitmap
+// containers and merge-style intersections earn their keep), and the
+// rare-element regime where the flat tIF wins.
+var routeRegimes = []struct {
+	name    string
+	cfg     gen.QueryConfig
+	freqBin int
+}{
+	{"default", gen.DefaultQueryConfig(), -1},
+	{"extent-small", gen.QueryConfig{ExtentFrac: 0.0001, NumElems: 3}, -1},
+	{"extent-large", gen.QueryConfig{ExtentFrac: 0.1, NumElems: 3}, -1},
+	{"dense", gen.QueryConfig{ExtentFrac: 0.1, NumElems: 2, FreqBin: &gen.FreqBins[3]}, 3},
+	{"rare", gen.QueryConfig{ExtentFrac: 0.001, NumElems: 2, FreqBin: &gen.FreqBins[0]}, 0},
+}
+
+// RunRouteJSON measures the adaptive router: (1) every method's —
+// including Routed's — untraced throughput on the default workload, the
+// benchdiff-gated rows; (2) per Section 5 regime, the routed index
+// against the best single sub-build, with the router's decision tally
+// and hit rate. cfg.JSONPath receives the RouteReport (BENCH_pr8.json).
+func RunRouteJSON(cfg Config) {
+	cfg = cfg.Normalize()
+	coll := syntheticDefault(cfg, nil)
+	queries := defaultWorkload(coll, cfg)
+	report := RouteReport{
+		Scale:      cfg.Scale,
+		NumQueries: cfg.NumQueries,
+		Seed:       cfg.Seed,
+		Objects:    coll.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	bestOf := func(qs []model.Query, ix temporalir.Index) float64 {
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			if qps := Throughput(ix, qs); qps > best {
+				best = qps
+			}
+		}
+		return best
+	}
+
+	// (1) The benchdiff-gated method rows, Routed included.
+	tbl := &Table{
+		Title:  "Untraced throughput, default workload (benchdiff rows)",
+		Header: []string{"method", "queries/s"},
+	}
+	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
+	methods = append(methods, temporalir.Routed)
+	for _, m := range methods {
+		ix, _ := MeasureBuild(m, coll, temporalir.Options{})
+		qps := bestOf(queries, ix)
+		report.Methods = append(report.Methods, ObsMethod{
+			Method:      string(m),
+			Label:       shortName(m),
+			UntracedQPS: qps,
+		})
+		tbl.Add(shortName(m), f0(qps))
+	}
+	tbl.Fprint(cfg.Out)
+
+	// (2) Per-regime routing quality. Each regime gets a fresh routed
+	// build so decision tallies and learned costs do not leak between
+	// regimes; the sub-builds are rebuilt alongside (construction cost
+	// is not what this experiment measures).
+	rtbl := &Table{
+		Title:  "Adaptive routing per regime (routed vs best single sub-build)",
+		Header: []string{"regime", "routed q/s", "best sub-build", "best q/s", "routed/best", "hit-rate"},
+	}
+	for _, reg := range routeRegimes {
+		qs := gen.Workload(coll, reg.cfg, cfg.NumQueries, cfg.Seed+23)
+		if len(qs) == 0 {
+			continue
+		}
+		routedIx, err := temporalir.NewIndex(temporalir.Routed, coll, temporalir.Options{})
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "routejson: build routed: %v\n", err)
+			return
+		}
+		ri := routedIx.(*route.Index)
+		row := RouteRegime{
+			Regime:     reg.name,
+			ExtentFrac: reg.cfg.ExtentFrac,
+			NumElems:   reg.cfg.NumElems,
+			FreqBin:    reg.freqBin,
+			Decisions:  make(map[string]uint64),
+		}
+		// Best single sub-build on this regime's workload.
+		for _, name := range ri.Methods() {
+			ix, _ := MeasureBuild(temporalir.Method(name), coll, temporalir.Options{})
+			if qps := bestOf(qs, ix); qps > row.BestQPS {
+				row.BestQPS = qps
+				row.BestMethod = name
+			}
+		}
+		// Routed throughput: one warm-up pass lets the EWMA estimates
+		// converge off the priors before the measured runs.
+		for _, q := range qs {
+			_ = routedIx.Query(q)
+		}
+		row.RoutedQPS = bestOf(qs, routedIx)
+		r := ri.Router()
+		var total, hits uint64
+		for i, name := range ri.Methods() {
+			n := r.Decisions(i)
+			row.Decisions[name] = n
+			total += n
+			if name == row.BestMethod {
+				hits = n
+			}
+		}
+		if total > 0 {
+			row.HitRate = float64(hits) / float64(total)
+		}
+		if row.BestQPS > 0 {
+			row.RoutedVsBest = row.RoutedQPS / row.BestQPS
+		}
+		report.Regimes = append(report.Regimes, row)
+		rtbl.Add(reg.name, f0(row.RoutedQPS), row.BestMethod, f0(row.BestQPS),
+			f2(row.RoutedVsBest), f2(row.HitRate))
+	}
+	report.RoutedMethods = append(report.RoutedMethods, temporalirRoutedNames()...)
+	rtbl.Fprint(cfg.Out)
+
+	if cfg.JSONPath == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "routejson: marshal: %v\n", err)
+		return
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(cfg.JSONPath, blob, 0o644); err != nil {
+		fmt.Fprintf(cfg.Out, "routejson: write %s: %v\n", cfg.JSONPath, err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s\n", cfg.JSONPath)
+}
+
+// temporalirRoutedNames lists the default routed sub-method names.
+func temporalirRoutedNames() []string {
+	ms := temporalir.DefaultRoutedMethods()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = string(m)
+	}
+	return names
+}

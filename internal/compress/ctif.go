@@ -74,6 +74,8 @@ func (ix *TIF) Query(q model.Query) []model.ObjectID {
 			cands = append(cands, p.ID)
 		}
 	}
+	bs := postings.GetBitmapScratch()
+	defer postings.PutBitmapScratch(bs)
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
 			return nil
@@ -82,6 +84,22 @@ func (ix *TIF) Query(q model.Query) []model.ObjectID {
 			return nil
 		}
 		it = Iterator{buf: ix.lists[e]}
+		// Dense candidate sets copy into a bitmap container: the decode
+		// stream then tests membership with one word probe per entry,
+		// instead of the in-place merge re-walking the candidate slice.
+		// Encoded lists are id-sorted, so streaming appends stay sorted.
+		if len(cands) >= postings.BitmapCutoff {
+			bs.Cands.SetSorted(cands)
+			w := 0
+			for it.Next(&p) {
+				if bs.Cands.Contains(p.ID) {
+					cands[w] = p.ID
+					w++
+				}
+			}
+			cands = cands[:w]
+			continue
+		}
 		w := 0
 		i := 0
 		for it.Next(&p) && i < len(cands) {

@@ -122,7 +122,7 @@ func (d *divIF) query(q model.Query, plan []model.ElemID, checkStart, checkEnd b
 		if l == nil {
 			return cands, dst
 		}
-		cands = postings.List(l).IntersectIDs(cands, cands[:0])
+		cands = postings.List(l).IntersectAny(cands, cands[:0])
 	}
 	return cands, append(dst, cands...)
 }

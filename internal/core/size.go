@@ -285,7 +285,7 @@ func intersectDiv(d *sizeDiv, cands []model.ObjectID, plan []model.ElemID, out [
 		if l == nil {
 			return out
 		}
-		cands = postings.IntersectSortedIDs(cands, l, cands[:0])
+		cands = postings.IntersectAnySorted(cands, l, cands[:0])
 		if len(cands) == 0 {
 			return out
 		}

@@ -68,6 +68,7 @@ func (s Stage) String() string {
 type Trace struct {
 	method  string
 	shape   atomic.Pointer[string]
+	route   atomic.Pointer[string]
 	start   time.Time
 	stageNS [NumStages]atomic.Int64
 	stageN  [NumStages]atomic.Int64
@@ -117,6 +118,28 @@ func (t *Trace) SetShape(shape string) {
 	}
 }
 
+// SetRoute records which index family the adaptive router dispatched
+// this query to. A batch trace keeps the last decision — the slow log
+// wants a representative route, not a tally (the router's decision
+// counters carry the tally).
+func (t *Trace) SetRoute(method string) {
+	if t != nil {
+		t.route.Store(&method)
+	}
+}
+
+// Route returns the recorded routing decision, or "" when the query
+// was not routed (or the trace is nil).
+func (t *Trace) Route() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.route.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // SetBatch records how many sub-queries this trace covers.
 func (t *Trace) SetBatch(n int) {
 	if t != nil {
@@ -145,6 +168,7 @@ type Summary struct {
 	Time     time.Time      `json:"time"`
 	Method   string         `json:"method"`
 	Shape    string         `json:"shape,omitempty"`
+	Route    string         `json:"route,omitempty"`
 	Batch    int64          `json:"batch,omitempty"`
 	Results  int64          `json:"results"`
 	Duration time.Duration  `json:"duration_ns"`
@@ -166,6 +190,9 @@ func (t *Trace) Summary() Summary {
 	}
 	if p := t.shape.Load(); p != nil {
 		s.Shape = *p
+	}
+	if p := t.route.Load(); p != nil {
+		s.Route = *p
 	}
 	for i := Stage(0); i < NumStages; i++ {
 		if n := t.stageN[i].Load(); n > 0 {

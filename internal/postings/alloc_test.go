@@ -32,4 +32,48 @@ func TestAllocBudget(t *testing.T) {
 			dst = IntersectSortedIDs(cands, other, dst[:0])
 		}
 	})
+
+	// The bitmap container kernels: steady state marks, intersects and
+	// compacts entirely inside pooled word slices.
+	allocbudget.Gate(t, "postings/Bitmap.And", func(b *testing.B) {
+		var ba, bb Bitmap
+		ba.SetSorted(cands)
+		bb.SetSorted(other)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ba.SetSorted(cands)
+			ba.And(&bb)
+		}
+	})
+
+	allocbudget.Gate(t, "postings/Bitmap.Or", func(b *testing.B) {
+		var ba, bb Bitmap
+		ba.SetSorted(cands)
+		bb.SetSorted(other)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ba.SetSorted(cands)
+			ba.Or(&bb)
+		}
+	})
+
+	allocbudget.Gate(t, "postings/Bitmap.KeepSorted", func(b *testing.B) {
+		var bb Bitmap
+		bb.SetSorted(other)
+		buf := append([]model.ObjectID(nil), cands...)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(buf[:cap(buf)], cands)
+			_ = bb.KeepSorted(buf[:len(cands)])
+		}
+	})
+
+	allocbudget.Gate(t, "postings/IntersectGalloping", func(b *testing.B) {
+		small := cands[:min(64, len(cands))]
+		var dst []model.ObjectID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectGalloping(small, other, dst[:0])
+		}
+	})
 }

@@ -1,0 +1,331 @@
+package postings
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Roaring-style hybrid containers for candidate intersections: sorted id
+// slices (the array container every index already uses) stay the
+// representation for sparse sets, while dense sets switch to a packed
+// []uint64 bitmap whose AND/OR/ANDNOT kernels process 64 ids per word.
+// Skewed array/array pairs use galloping (exponential) search instead of
+// a full merge. IntersectAnySorted and List.IntersectAny are the
+// container-aware dispatchers the hot paths call.
+
+// BitmapCutoff is the candidate-set size at which intersections switch
+// from the positional keep-mask / merge representation to the packed
+// bitmap, mirroring roaring's 4096 array/bitmap threshold. It is a
+// variable (not a constant) so differential tests can lower it and force
+// the bitmap path onto small seeded workloads.
+var BitmapCutoff = 4096
+
+// GallopRatio is the size skew at which a merge intersection switches to
+// galloping search probes of the larger side: |large| > GallopRatio *
+// |small|. Tests lower it to force the galloping path.
+var GallopRatio = 32
+
+// Bitmap is a packed bitset over the dense internal object-id space.
+// Word i bit b represents id i*64+b. The zero value is an empty bitmap.
+type Bitmap struct {
+	words []uint64
+}
+
+// Reset sizes the bitmap to hold ids in [0, universe) and clears every
+// bit. Growth is amortized: a pooled bitmap reaches the largest universe
+// it has served and is then reused allocation-free.
+func (b *Bitmap) Reset(universe model.ObjectID) {
+	nw := int(universe+63) / 64
+	if cap(b.words) < nw {
+		b.grow(nw)
+	}
+	b.words = b.words[:nw]
+	clear(b.words)
+}
+
+// grow reallocates the word slice. Noinline so the rare growth
+// allocation stays attributed to this line instead of being inlined
+// into every hot Reset call.
+//
+//go:noinline
+func (b *Bitmap) grow(nw int) {
+	// lint:alloc-ok pooled bitmap grows to the largest universe seen, then is reused across queries
+	b.words = make([]uint64, nw)
+}
+
+// Set marks id. Ids at or beyond the sized universe are ignored — the
+// marking paths probe division entries whose ids may exceed the largest
+// candidate, and those can never survive a candidate compaction anyway.
+//
+// irlint:hot bitmap mark, runs per division entry per query
+func (b *Bitmap) Set(id model.ObjectID) {
+	w := int(id >> 6)
+	if w < len(b.words) {
+		b.words[w] |= 1 << (id & 63)
+	}
+}
+
+// Contains reports whether id is set. Out-of-universe ids report false.
+//
+// irlint:hot bitmap membership probe, runs per candidate per query
+func (b *Bitmap) Contains(id model.ObjectID) bool {
+	w := int(id >> 6)
+	return w < len(b.words) && b.words[w]&(1<<(id&63)) != 0
+}
+
+// SetSorted resets the bitmap to cover ids and marks each one. ids must
+// be ascending; an empty slice yields an empty bitmap.
+func (b *Bitmap) SetSorted(ids []model.ObjectID) {
+	if len(ids) == 0 {
+		b.Reset(0)
+		return
+	}
+	assertSortedIDs(ids, "Bitmap.SetSorted")
+	b.Reset(ids[len(ids)-1] + 1)
+	for _, id := range ids {
+		b.words[id>>6] |= 1 << (id & 63)
+	}
+}
+
+// And intersects b with o word-parallel: bits beyond o's universe clear.
+//
+// irlint:hot word-parallel AND kernel over candidate bitmaps
+func (b *Bitmap) And(o *Bitmap) {
+	n := min(len(b.words), len(o.words))
+	for i := 0; i < n; i++ {
+		b.words[i] &= o.words[i]
+	}
+	clear(b.words[n:])
+}
+
+// Or unions o into b word-parallel. o must not exceed b's universe
+// (union paths mark into a bitmap sized for the full candidate set).
+//
+// irlint:hot word-parallel OR kernel over per-chunk candidate bitmaps
+func (b *Bitmap) Or(o *Bitmap) {
+	n := min(len(b.words), len(o.words))
+	for i := 0; i < n; i++ {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// AndNot clears every bit of b that is set in o, word-parallel.
+//
+// irlint:hot word-parallel ANDNOT kernel for tombstone subtraction
+func (b *Bitmap) AndNot(o *Bitmap) {
+	n := min(len(b.words), len(o.words))
+	for i := 0; i < n; i++ {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AppendIDs appends the set ids in ascending order.
+func (b *Bitmap) AppendIDs(dst []model.ObjectID) []model.ObjectID {
+	// lint:alloc-ok amortized pre-sizing to the output bound; zero once the caller reuses dst
+	dst = slices.Grow(dst, b.Count())
+	for i, w := range b.words {
+		base := model.ObjectID(i) << 6
+		for w != 0 {
+			dst = append(dst, base+model.ObjectID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// KeepSorted compacts ids in place to those present in the bitmap,
+// preserving order.
+//
+// irlint:hot candidate compaction after bitmap marking, runs once per plan element
+func (b *Bitmap) KeepSorted(ids []model.ObjectID) []model.ObjectID {
+	w := 0
+	for _, id := range ids {
+		if b.Contains(id) {
+			ids[w] = id
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// SizeBytes reports the bitmap's resident size.
+func (b *Bitmap) SizeBytes() int64 { return int64(cap(b.words)) * 8 }
+
+// BitmapScratch is a pooled pair of reusable bitmaps for the
+// intersection hot paths: Cands holds the candidate set, Matched
+// accumulates per-division marks. The pool recycles them across
+// queries, so steady-state bitmap intersections allocate nothing.
+type BitmapScratch struct {
+	Cands   Bitmap
+	Matched Bitmap
+}
+
+var bitmapPool = sync.Pool{New: func() any { return new(BitmapScratch) }}
+
+// GetBitmapScratch borrows a scratch pair from the pool.
+func GetBitmapScratch() *BitmapScratch { return bitmapPool.Get().(*BitmapScratch) }
+
+// PutBitmapScratch returns a scratch pair to the pool.
+func PutBitmapScratch(s *BitmapScratch) { bitmapPool.Put(s) }
+
+// GallopLowerBound returns the smallest index i in [lo, len(ids)] with
+// ids[i] >= target, using exponential probing from lo — O(log d) for a
+// match d positions ahead, the skew-friendly search the galloping
+// intersections rely on. ids must be ascending.
+//
+// irlint:hot galloping probe, runs per small-side element per query
+func GallopLowerBound(ids []model.ObjectID, target model.ObjectID, lo int) int {
+	if lo >= len(ids) || ids[lo] >= target {
+		return lo
+	}
+	// Invariant: ids[lo] < target; double the step until hi overshoots.
+	step := 1
+	hi := lo + 1
+	for hi < len(ids) && ids[hi] < target {
+		lo = hi
+		hi += step
+		step <<= 1
+	}
+	if hi > len(ids) {
+		hi = len(ids)
+	}
+	// Binary search in (lo, hi]: ids[lo] < target <= ids[hi] (or hi==len).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// GallopLowerBoundList is GallopLowerBound over a postings list's ids.
+//
+// irlint:hot galloping probe over postings divisions, runs per candidate per query
+func GallopLowerBoundList(l []Posting, target model.ObjectID, lo int) int {
+	if lo >= len(l) || l[lo].ID >= target {
+		return lo
+	}
+	step := 1
+	hi := lo + 1
+	for hi < len(l) && l[hi].ID < target {
+		lo = hi
+		hi += step
+		step <<= 1
+	}
+	if hi > len(l) {
+		hi = len(l)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].ID < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// IntersectGalloping intersects two ascending id slices where small is
+// much shorter than large: each small element gallops forward in large
+// from the last probe position, so the cost is O(|small| log(|large| /
+// |small|)) instead of the merge's O(|small| + |large|).
+//
+// irlint:hot galloping intersection for skewed list sizes
+func IntersectGalloping(small, large, dst []model.ObjectID) []model.ObjectID {
+	assertSortedIDs(small, "IntersectGalloping small")
+	assertSortedIDs(large, "IntersectGalloping large")
+	// lint:alloc-ok amortized pre-sizing to the output bound; zero once the caller reuses dst
+	dst = slices.Grow(dst, len(small))
+	lo := 0
+	for _, id := range small {
+		lo = GallopLowerBound(large, id, lo)
+		if lo == len(large) {
+			break
+		}
+		if large[lo] == id {
+			dst = append(dst, id)
+			lo++
+		}
+	}
+	return dst
+}
+
+// IntersectAnySorted is the container-aware intersection dispatch for
+// two ascending id slices: galloping when the sizes are skewed past
+// GallopRatio, the linear merge otherwise. Results are identical to
+// IntersectSortedIDs in all cases.
+//
+// irlint:hot container-aware intersection dispatch on the query hot path
+func IntersectAnySorted(a, b, dst []model.ObjectID) []model.ObjectID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) > len(a)*GallopRatio {
+		return IntersectGalloping(a, b, dst)
+	}
+	return IntersectSortedIDs(a, b, dst)
+}
+
+// IntersectAny is the container-aware counterpart of IntersectIDs: when
+// the list dwarfs the candidate set (or vice versa) it gallops through
+// the larger side instead of merging both. Semantics match IntersectIDs
+// exactly — in particular, tombstoned entries still match, relying on
+// the all-copies-tombstoned deletion invariant the merge path relies on.
+//
+// irlint:hot container-aware list intersection dispatch on the query hot path
+func (l List) IntersectAny(cands, dst []model.ObjectID) []model.ObjectID {
+	switch {
+	case len(l) > len(cands)*GallopRatio:
+		assertSortedIDs(cands, "List.IntersectAny candidates")
+		assertSortedList(l, "List.IntersectAny list")
+		// lint:alloc-ok amortized pre-sizing to the output bound; zero once the caller reuses dst
+		dst = slices.Grow(dst, len(cands))
+		lo := 0
+		for _, id := range cands {
+			lo = GallopLowerBoundList(l, id, lo)
+			if lo == len(l) {
+				break
+			}
+			if l[lo].ID == id {
+				dst = append(dst, id)
+				lo++
+			}
+		}
+		return dst
+	case len(cands) > len(l)*GallopRatio:
+		assertSortedIDs(cands, "List.IntersectAny candidates")
+		assertSortedList(l, "List.IntersectAny list")
+		// lint:alloc-ok amortized pre-sizing to the output bound; zero once the caller reuses dst
+		dst = slices.Grow(dst, len(l))
+		lo := 0
+		for i := range l {
+			lo = GallopLowerBound(cands, l[i].ID, lo)
+			if lo == len(cands) {
+				break
+			}
+			if cands[lo] == l[i].ID {
+				dst = append(dst, cands[lo])
+				lo++
+			}
+		}
+		return dst
+	default:
+		return l.IntersectIDs(cands, dst)
+	}
+}

@@ -1,0 +1,317 @@
+package postings
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// unionSorted is the reference union of two sorted id slices.
+func unionSorted(a, b []model.ObjectID) []model.ObjectID {
+	out := append(append([]model.ObjectID(nil), a...), b...)
+	model.SortIDs(out)
+	return model.DedupIDs(out)
+}
+
+// diffSorted is the reference a \ b over sorted id slices.
+func diffSorted(a, b []model.ObjectID) []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(a))
+	for _, id := range a {
+		if !ContainsSorted(b, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestBitmapSetContains(t *testing.T) {
+	var b Bitmap
+	b.Reset(200)
+	for _, id := range []model.ObjectID{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Contains(id) {
+			t.Fatalf("fresh bitmap contains %d", id)
+		}
+		b.Set(id)
+		if !b.Contains(id) {
+			t.Fatalf("bitmap lost %d after Set", id)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	// Out-of-universe ids are ignored by Set and absent for Contains.
+	b.Set(1000)
+	if b.Contains(1000) {
+		t.Fatal("out-of-universe Set took effect")
+	}
+	// Reset clears and resizes.
+	b.Reset(64)
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+	if b.Contains(63) {
+		t.Fatal("Reset left bit 63 set")
+	}
+}
+
+func TestBitmapSetSortedRoundTrip(t *testing.T) {
+	cases := [][]model.ObjectID{
+		nil,
+		{0},
+		{63, 64, 65},
+		{5, 6, 7, 1000, 4096, 4097},
+	}
+	var b Bitmap
+	for _, ids := range cases {
+		b.SetSorted(ids)
+		got := b.AppendIDs(nil)
+		if !model.EqualIDs(got, ids) {
+			t.Errorf("round trip %v -> %v", ids, got)
+		}
+		if b.Count() != len(ids) {
+			t.Errorf("Count(%v) = %d", ids, b.Count())
+		}
+	}
+}
+
+func TestBitmapKernelsMatchSliceOracle(t *testing.T) {
+	a := []model.ObjectID{0, 2, 63, 64, 100, 129, 500}
+	c := []model.ObjectID{2, 64, 65, 100, 501, 600, 900}
+
+	var ba, bc Bitmap
+	ba.SetSorted(a)
+	bc.SetSorted(c)
+	ba.And(&bc)
+	if got, want := ba.AppendIDs(nil), IntersectSortedIDs(a, c, nil); !model.EqualIDs(got, want) {
+		t.Errorf("And = %v, want %v", got, want)
+	}
+
+	// Or marks into a bitmap sized for the larger universe.
+	ba.SetSorted(c)
+	bc.SetSorted(a)
+	ba.Or(&bc)
+	if got, want := ba.AppendIDs(nil), unionSorted(a, c); !model.EqualIDs(got, want) {
+		t.Errorf("Or = %v, want %v", got, want)
+	}
+
+	ba.SetSorted(a)
+	bc.SetSorted(c)
+	ba.AndNot(&bc)
+	if got, want := ba.AppendIDs(nil), diffSorted(a, c); !model.EqualIDs(got, want) {
+		t.Errorf("AndNot = %v, want %v", got, want)
+	}
+
+	// And against a smaller universe clears the tail beyond it.
+	ba.SetSorted(a)
+	bc.SetSorted([]model.ObjectID{2})
+	ba.And(&bc)
+	if got, want := ba.AppendIDs(nil), []model.ObjectID{2}; !model.EqualIDs(got, want) {
+		t.Errorf("And small-universe = %v, want %v", got, want)
+	}
+}
+
+func TestBitmapKeepSorted(t *testing.T) {
+	var b Bitmap
+	b.SetSorted([]model.ObjectID{3, 64, 70})
+	ids := []model.ObjectID{1, 3, 64, 69, 70, 4096}
+	got := b.KeepSorted(ids)
+	if want := []model.ObjectID{3, 64, 70}; !model.EqualIDs(got, want) {
+		t.Fatalf("KeepSorted = %v, want %v", got, want)
+	}
+}
+
+func TestGallopLowerBound(t *testing.T) {
+	ids := []model.ObjectID{2, 4, 4, 8, 16, 32, 33, 34, 64, 100}
+	for lo := 0; lo <= len(ids); lo++ {
+		for target := model.ObjectID(0); target <= 101; target++ {
+			got := GallopLowerBound(ids, target, lo)
+			want := lo
+			for want < len(ids) && ids[want] < target {
+				want++
+			}
+			if got != want {
+				t.Fatalf("GallopLowerBound(%v, %d, %d) = %d, want %d", ids, target, lo, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersectGallopingMatchesMerge(t *testing.T) {
+	small := []model.ObjectID{5, 100, 101, 4000}
+	large := make([]model.ObjectID, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		large = append(large, model.ObjectID(i))
+	}
+	got := IntersectGalloping(small, large, nil)
+	want := IntersectSortedIDs(small, large, nil)
+	if !model.EqualIDs(got, want) {
+		t.Fatalf("galloping %v != merge %v", got, want)
+	}
+}
+
+// TestIntersectAnySortedForcedPaths lowers GallopRatio so both dispatch
+// arms run on small inputs, and verifies each against the merge.
+func TestIntersectAnySortedForcedPaths(t *testing.T) {
+	old := GallopRatio
+	GallopRatio = 1
+	defer func() { GallopRatio = old }()
+
+	a := []model.ObjectID{1, 5, 9, 20}
+	b := []model.ObjectID{0, 1, 2, 5, 6, 7, 9, 10, 20, 21, 30, 40}
+	want := IntersectSortedIDs(a, b, nil)
+	if got := IntersectAnySorted(a, b, nil); !model.EqualIDs(got, want) {
+		t.Fatalf("IntersectAnySorted(a,b) = %v, want %v", got, want)
+	}
+	if got := IntersectAnySorted(b, a, nil); !model.EqualIDs(got, want) {
+		t.Fatalf("IntersectAnySorted(b,a) = %v, want %v", got, want)
+	}
+	// In-place reuse: dst = cands[:0], the hot-path aliasing pattern.
+	cands := append([]model.ObjectID(nil), a...)
+	if got := IntersectAnySorted(cands, b, cands[:0]); !model.EqualIDs(got, want) {
+		t.Fatalf("aliased IntersectAnySorted = %v, want %v", got, want)
+	}
+}
+
+// TestListIntersectAnyMatchesIntersectIDs verifies the dispatching list
+// intersection agrees with the plain merge in both skew directions —
+// including tombstoned entries, which IntersectIDs deliberately keeps
+// (deletion tombstones every copy, so a dead object never enters the
+// candidate set in the first place).
+func TestListIntersectAnyMatchesIntersectIDs(t *testing.T) {
+	old := GallopRatio
+	GallopRatio = 1
+	defer func() { GallopRatio = old }()
+
+	l := make(List, 0, 40)
+	for i := 0; i < 40; i++ {
+		p := Posting{ID: model.ObjectID(i * 2), Interval: model.NewInterval(0, 10)}
+		if i%7 == 0 {
+			p.Interval = Tombstone
+		}
+		l = append(l, p)
+	}
+	cands := []model.ObjectID{0, 3, 14, 28, 40, 77, 78}
+	want := l.IntersectIDs(cands, nil)
+	if got := l.IntersectAny(cands, nil); !model.EqualIDs(got, want) {
+		t.Fatalf("list-gallop arm = %v, want %v", got, want)
+	}
+	// Opposite skew: candidates dwarf the list.
+	shortList := l[:2]
+	want = shortList.IntersectIDs(cands, nil)
+	if got := shortList.IntersectAny(cands, nil); !model.EqualIDs(got, want) {
+		t.Fatalf("cands-gallop arm = %v, want %v", got, want)
+	}
+}
+
+func TestBitmapScratchPool(t *testing.T) {
+	s := GetBitmapScratch()
+	s.Cands.SetSorted([]model.ObjectID{1, 2, 3})
+	s.Matched.SetSorted([]model.ObjectID{2})
+	PutBitmapScratch(s)
+	s2 := GetBitmapScratch()
+	defer PutBitmapScratch(s2)
+	// Pooled bitmaps are reused dirty; Reset/SetSorted must fully clear.
+	s2.Cands.SetSorted([]model.ObjectID{5})
+	if got := s2.Cands.AppendIDs(nil); !model.EqualIDs(got, []model.ObjectID{5}) {
+		t.Fatalf("pooled bitmap not cleared: %v", got)
+	}
+}
+
+// FuzzContainerParity drives the bitmap container against the sorted
+// slice oracles on arbitrary id sets: array -> bitmap -> array
+// round-trips, and the AND/OR/ANDNOT kernels against merge-based set
+// operations.
+func FuzzContainerParity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{1, 1, 2})
+	f.Add([]byte{}, []byte{5, 5, 5})
+	f.Add([]byte{255, 255, 255}, []byte{0})
+	f.Add([]byte{63, 1, 64}, []byte{63, 2})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := idsFromBytes(rawA)
+		b := idsFromBytes(rawB)
+
+		var ba, bb Bitmap
+		ba.SetSorted(a)
+		bb.SetSorted(b)
+
+		// Round trips.
+		if got := ba.AppendIDs(nil); !model.EqualIDs(got, a) {
+			t.Fatalf("round trip %v -> %v", a, got)
+		}
+		if got := bb.AppendIDs(nil); !model.EqualIDs(got, b) {
+			t.Fatalf("round trip %v -> %v", b, got)
+		}
+		for _, id := range a {
+			if !ba.Contains(id) {
+				t.Fatalf("bitmap missing %d", id)
+			}
+		}
+
+		// AND vs merge intersection.
+		ba.And(&bb)
+		want := IntersectSortedIDs(a, b, nil)
+		if got := ba.AppendIDs(nil); !model.EqualIDs(got, want) {
+			t.Fatalf("And = %v, want %v (a=%v b=%v)", got, want, a, b)
+		}
+		// KeepSorted agrees with the merge too.
+		bb.SetSorted(b)
+		cands := append([]model.ObjectID(nil), a...)
+		if got := bb.KeepSorted(cands); !model.EqualIDs(got, want) {
+			t.Fatalf("KeepSorted = %v, want %v (a=%v b=%v)", got, want, a, b)
+		}
+
+		// OR vs merge union: mark into the wider universe.
+		ba.SetSorted(a)
+		bb.SetSorted(b)
+		wide, narrow := &ba, &bb
+		if len(b) > 0 && (len(a) == 0 || b[len(b)-1] > a[len(a)-1]) {
+			wide, narrow = &bb, &ba
+		}
+		wide.Or(narrow)
+		if got := wide.AppendIDs(nil); !model.EqualIDs(got, unionSorted(a, b)) {
+			t.Fatalf("Or = %v, want %v (a=%v b=%v)", got, unionSorted(a, b), a, b)
+		}
+
+		// ANDNOT vs difference.
+		ba.SetSorted(a)
+		bb.SetSorted(b)
+		ba.AndNot(&bb)
+		if got := ba.AppendIDs(nil); !model.EqualIDs(got, diffSorted(a, b)) {
+			t.Fatalf("AndNot = %v, want %v (a=%v b=%v)", got, diffSorted(a, b), a, b)
+		}
+	})
+}
+
+// FuzzGallopParity drives the galloping intersections against the merge
+// oracle on arbitrary sorted inputs, in both skew directions, plus the
+// List-based dispatch arms.
+func FuzzGallopParity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{1, 1, 2})
+	f.Add([]byte{}, []byte{5})
+	f.Add([]byte{10}, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := idsFromBytes(rawA)
+		b := idsFromBytes(rawB)
+		want := IntersectSortedIDs(a, b, nil)
+
+		if got := IntersectGalloping(a, b, nil); !model.EqualIDs(got, want) {
+			t.Fatalf("IntersectGalloping(a,b) = %v, want %v (a=%v b=%v)", got, want, a, b)
+		}
+		if got := IntersectGalloping(b, a, nil); !model.EqualIDs(got, want) {
+			t.Fatalf("IntersectGalloping(b,a) = %v, want %v (a=%v b=%v)", got, want, a, b)
+		}
+		if got := IntersectAnySorted(a, b, nil); !model.EqualIDs(got, want) {
+			t.Fatalf("IntersectAnySorted = %v, want %v (a=%v b=%v)", got, want, a, b)
+		}
+
+		// The List dispatch arms: build the list from b, intersect with a.
+		l := make(List, len(b))
+		for i, id := range b {
+			l[i] = Posting{ID: id, Interval: model.NewInterval(0, 1)}
+		}
+		wantList := l.IntersectIDs(a, nil)
+		if got := l.IntersectAny(a, nil); !model.EqualIDs(got, wantList) {
+			t.Fatalf("List.IntersectAny = %v, want %v (a=%v b=%v)", got, wantList, a, b)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package route
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// defaultLineup mirrors the root package's DefaultRoutedMethods.
+func defaultLineup() ([]string, []Class) {
+	return []string{"tif", "tif+hint/merge", "tif+hint+slicing", "irhint/perf"},
+		[]Class{ClassTIF, ClassMerge, ClassHybrid, ClassPerf}
+}
+
+// TestGoldenDecisions pins the prior-seeded routing table: for each
+// regime of the paper's Section 5 sweeps, a fresh router (no
+// observations yet) must pick the method the priors encode. The first
+// decision in a bucket is never an exploration tick, so these are pure
+// cost-model argmins.
+func TestGoldenDecisions(t *testing.T) {
+	names, classes := defaultLineup()
+	golden := []struct {
+		name string
+		f    Features
+		want string
+	}{
+		// The paper's default workload: small extent, |q.d|=3,
+		// mid-frequency elements — irHINT-perf is the overall winner.
+		{"default", Features{ExtentFrac: 0.001, NumElems: 3, MinFreqFrac: 0.005}, "irhint/perf"},
+		// Very rare elements: postings lists are tiny, the flat tIF's
+		// plain merge beats every hierarchy.
+		{"rare-elements", Features{ExtentFrac: 0.001, NumElems: 2, MinFreqFrac: 0.0001}, "tif"},
+		// Large extent, frequent elements: still irHINT-perf under the
+		// default priors (its extent penalty is mild).
+		{"large-extent-dense", Features{ExtentFrac: 0.5, NumElems: 3, MinFreqFrac: 0.05}, "irhint/perf"},
+		// Large extent AND rare elements: the tIF discount dominates.
+		{"large-extent-rare", Features{ExtentFrac: 0.5, NumElems: 1, MinFreqFrac: 0.0005}, "tif"},
+	}
+	for _, g := range golden {
+		r := New(names, classes)
+		mi := r.Choose(g.f)
+		if names[mi] != g.want {
+			t.Errorf("%s: routed to %s, want %s (features %+v)", g.name, names[mi], g.want, g.f)
+		}
+	}
+}
+
+// TestObserveConvergence checks the online update overrides the priors:
+// feed consistently fast observations for a prior-disfavored method and
+// the router must switch to it in that bucket (and only that bucket).
+func TestObserveConvergence(t *testing.T) {
+	names, classes := defaultLineup()
+	r := New(names, classes)
+	f := Features{ExtentFrac: 0.001, NumElems: 3, MinFreqFrac: 0.005}
+	other := Features{ExtentFrac: 0.5, NumElems: 1, MinFreqFrac: 0.5}
+	merge := 1 // tif+hint/merge: base prior 36e3, never the default winner
+	for i := 0; i < 50; i++ {
+		r.Observe(merge, f, 1*time.Microsecond)
+	}
+	// Observe does not advance the exploration clock, so the first
+	// Choose in the bucket is a pure argmin of the trained table.
+	if mi := r.Choose(f); names[mi] != "tif+hint/merge" {
+		t.Fatalf("after training, routed to %s, want tif+hint/merge", names[mi])
+	}
+	if mi := r.Choose(other); names[mi] == "tif+hint/merge" {
+		t.Fatalf("training leaked into an unrelated bucket")
+	}
+}
+
+// TestNoStarvation: the deterministic exploration ticks guarantee every
+// registered method keeps receiving decisions, and Choose never returns
+// an index outside the registered range (no routing to an absent
+// build), no matter how skewed the cost table gets.
+func TestNoStarvation(t *testing.T) {
+	names, classes := defaultLineup()
+	r := New(names, classes)
+	f := Features{ExtentFrac: 0.001, NumElems: 3, MinFreqFrac: 0.005}
+	// Skew hard: one method is made to look infinitely better.
+	for i := 0; i < 100; i++ {
+		r.Observe(3, f, time.Nanosecond)
+		r.Observe(0, f, time.Hour)
+		r.Observe(1, f, time.Hour)
+		r.Observe(2, f, time.Hour)
+	}
+	total := 4 * exploreEvery * len(names)
+	for i := 0; i < total; i++ {
+		mi := r.Choose(f)
+		if mi < 0 || mi >= len(names) {
+			t.Fatalf("Choose returned out-of-range index %d", mi)
+		}
+	}
+	for i := range names {
+		if r.Decisions(i) == 0 {
+			t.Errorf("method %s starved over %d decisions", names[i], total)
+		}
+	}
+	if got := r.DecisionTotal(); got != uint64(total) {
+		t.Fatalf("DecisionTotal = %d, want %d", got, total)
+	}
+}
+
+// TestSingleMethod: a one-method router short-circuits but still
+// tallies.
+func TestSingleMethod(t *testing.T) {
+	r := New([]string{"tif"}, []Class{ClassTIF})
+	for i := 0; i < 5; i++ {
+		if mi := r.Choose(Features{}); mi != 0 {
+			t.Fatalf("Choose = %d, want 0", mi)
+		}
+	}
+	if r.Decisions(0) != 5 {
+		t.Fatalf("Decisions = %d, want 5", r.Decisions(0))
+	}
+}
+
+// TestBucketGrid sanity-checks the regime grid: every feature corner
+// maps into [0, NumBuckets) and the axes are monotone.
+func TestBucketGrid(t *testing.T) {
+	fs := []Features{
+		{}, {ExtentFrac: 1, NumElems: 10, MinFreqFrac: 1},
+		{ExtentFrac: 0.0005}, {ExtentFrac: 0.005}, {ExtentFrac: 0.05},
+		{NumElems: 1}, {NumElems: 3}, {NumElems: 5},
+		{MinFreqFrac: 0.0001}, {MinFreqFrac: 0.005}, {MinFreqFrac: 0.5},
+	}
+	seen := map[int]bool{}
+	for _, f := range fs {
+		b := BucketOf(f)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("BucketOf(%+v) = %d, out of range", f, b)
+		}
+		seen[b] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("bucket grid too coarse: %d distinct buckets over the corners", len(seen))
+	}
+	if lo, hi := BucketOf(Features{ExtentFrac: 0.0001}), BucketOf(Features{ExtentFrac: 0.9}); lo >= hi {
+		t.Fatalf("extent axis not monotone: %d >= %d", lo, hi)
+	}
+}
+
+// TestConcurrentChooseObserve hammers the router from many goroutines
+// under the race detector: atomics only, and the decision tally must
+// account for every Choose.
+func TestConcurrentChooseObserve(t *testing.T) {
+	names, classes := defaultLineup()
+	r := New(names, classes)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := Features{ExtentFrac: float64(w) / workers, NumElems: w % 5, MinFreqFrac: 0.01}
+			for i := 0; i < perWorker; i++ {
+				mi := r.Choose(f)
+				r.Observe(mi, f, time.Duration(i+1)*time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.DecisionTotal(); got != workers*perWorker {
+		t.Fatalf("DecisionTotal = %d, want %d", got, workers*perWorker)
+	}
+	for b := 0; b < NumBuckets; b++ {
+		for i := range names {
+			if c := r.Cost(b, i); c <= 0 {
+				t.Fatalf("cost[%d][%d] = %v, want positive", b, i, c)
+			}
+		}
+	}
+}
+
+// TestObserveIgnoresBadIndex: out-of-range observations are dropped.
+func TestObserveIgnoresBadIndex(t *testing.T) {
+	r := New([]string{"tif"}, []Class{ClassTIF})
+	r.Observe(-1, Features{}, time.Second)
+	r.Observe(5, Features{}, time.Second)
+	if got := r.Cost(0, 0); got != PriorCost(ClassTIF, 0, 0, 0) {
+		t.Fatalf("bad-index Observe mutated the table: %v", got)
+	}
+}

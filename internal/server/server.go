@@ -202,6 +202,15 @@ func (s *Server) registerMetrics() {
 	reg.CounterFunc("tir_exec_helpers_total", "Helper goroutines borrowed by fan-outs.", func() float64 {
 		return float64(eng.PoolStats().Helpers)
 	})
+
+	// Routed engines expose the adaptive router's decision tally, one
+	// series per sub-method. Non-routed engines register nothing.
+	for i, m := range eng.RoutedMethods() {
+		i := i
+		reg.CounterFunc("tir_route_decisions_total", "Adaptive-router decisions, by chosen sub-method.", func() float64 {
+			return float64(eng.RouteDecisions()[i])
+		}, obs.Label{Key: "method", Value: string(m)})
+	}
 }
 
 // acquire claims an in-flight slot, reporting false when the server is

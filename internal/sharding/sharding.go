@@ -303,7 +303,7 @@ func (ix *Index) Query(q model.Query) []model.ObjectID {
 		}
 		buf = ix.gather(e, q.Interval, buf[:0])
 		model.SortIDs(buf)
-		cands = postings.IntersectSortedIDs(cands, buf, cands[:0])
+		cands = postings.IntersectAnySorted(cands, buf, cands[:0])
 	}
 	return cands
 }

@@ -113,7 +113,7 @@ func (ix *Index) Query(q model.Query) []model.ObjectID {
 		if int(e) >= len(ix.lists) {
 			return nil
 		}
-		cands = postings.List(ix.lists[e]).IntersectIDs(cands, cands[:0])
+		cands = postings.List(ix.lists[e]).IntersectAny(cands, cands[:0])
 	}
 	return cands
 }

@@ -172,20 +172,85 @@ func (h *idHint) intersect(q model.Interval, cands []model.ObjectID, keep []bool
 	return compact(cands, keep)
 }
 
+// markMatches marks keep[i] for every candidate with a live entry in
+// div. Skewed sizes dispatch to galloping probes of the larger side;
+// balanced sizes run the linear merge.
 func markMatches(div []postings.Posting, cands []model.ObjectID, keep []bool) {
-	i, j := 0, 0
-	for i < len(cands) && j < len(div) {
-		switch {
-		case cands[i] < div[j].ID:
-			i++
-		case cands[i] > div[j].ID:
-			j++
-		default:
-			if !postings.IsTombstone(div[j].Interval) {
-				keep[i] = true
+	switch {
+	case len(div) > len(cands)*postings.GallopRatio:
+		lo := 0
+		for i, id := range cands {
+			lo = postings.GallopLowerBoundList(div, id, lo)
+			if lo == len(div) {
+				return
 			}
-			i++
-			j++
+			if div[lo].ID == id {
+				if !postings.IsTombstone(div[lo].Interval) {
+					keep[i] = true
+				}
+				lo++
+			}
+		}
+	case len(cands) > len(div)*postings.GallopRatio:
+		lo := 0
+		for j := range div {
+			lo = postings.GallopLowerBound(cands, div[j].ID, lo)
+			if lo == len(cands) {
+				return
+			}
+			if cands[lo] == div[j].ID {
+				if !postings.IsTombstone(div[j].Interval) {
+					keep[lo] = true
+				}
+				lo++
+			}
+		}
+	default:
+		i, j := 0, 0
+		for i < len(cands) && j < len(div) {
+			switch {
+			case cands[i] < div[j].ID:
+				i++
+			case cands[i] > div[j].ID:
+				j++
+			default:
+				if !postings.IsTombstone(div[j].Interval) {
+					keep[i] = true
+				}
+				i++
+				j++
+			}
+		}
+	}
+}
+
+// intersectBitmap is intersect with the positional keep-mask replaced
+// by a packed bitmap: every live entry of a relevant division marks its
+// id bit (idempotent across divisions, and ids beyond the candidate
+// universe are ignored), then one compaction pass keeps the candidates
+// whose bit is set. Results are identical to intersect; the win is that
+// dense candidate sets are not re-walked per division. cands must be
+// non-empty and ascending.
+//
+// irlint:hot bitmap-container intersection for dense candidate sets
+func (h *idHint) intersectBitmap(q model.Interval, cands []model.ObjectID, bm *postings.Bitmap) []model.ObjectID {
+	bm.Reset(cands[len(cands)-1] + 1)
+	hint.Visit(h.dom, q, func(lv hint.LevelVisit) {
+		h.levels[lv.Level].forRange(lv.F, lv.L, func(j uint32, p *idPart) {
+			markDivisionBitmap(p.o, bm)
+			if j == lv.F {
+				markDivisionBitmap(p.r, bm)
+			}
+		})
+	})
+	return bm.KeepSorted(cands)
+}
+
+// markDivisionBitmap sets the bit of every live entry in the division.
+func markDivisionBitmap(div []postings.Posting, bm *postings.Bitmap) {
+	for i := range div {
+		if !postings.IsTombstone(div[i].Interval) {
+			bm.Set(div[i].ID)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/hint"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/postings"
 )
 
 // Parallel query paths for the three tIF+HINT composites. Each QueryP
@@ -219,8 +220,25 @@ func (ix *HybridIndex) QueryP(q model.Query, pool *exec.Pool) []model.ObjectID {
 }
 
 // markSlice is the per-slice merge of HybridIndex.Query, factored out so
-// serial and parallel paths share one implementation.
+// serial and parallel paths share one implementation. Size-skewed pairs
+// gallop through the larger side instead of merging both.
 func markSlice(sub []slicePair, cands []model.ObjectID, keep []bool) {
+	if len(cands) > len(sub)*postings.GallopRatio {
+		lo := 0
+		for j := range sub {
+			lo = postings.GallopLowerBound(cands, sub[j].ID, lo)
+			if lo == len(cands) {
+				return
+			}
+			if cands[lo] == sub[j].ID {
+				if sub[j].Start != deadStart {
+					keep[lo] = true
+				}
+				lo++
+			}
+		}
+		return
+	}
 	i, j := 0, 0
 	for i < len(cands) && j < len(sub) {
 		switch {
@@ -234,6 +252,19 @@ func markSlice(sub []slicePair, cands []model.ObjectID, keep []bool) {
 			}
 			i++
 			j++
+		}
+	}
+}
+
+// markSliceBitmap sets the bit of every live replica in the slice — the
+// bitmap-container counterpart of markSlice, used when the candidate set
+// is dense enough that per-slice merges would re-walk it wholesale.
+//
+// irlint:hot bitmap-container slice marking for dense candidate sets
+func markSliceBitmap(sub []slicePair, bm *postings.Bitmap) {
+	for j := range sub {
+		if sub[j].Start != deadStart {
+			bm.Set(sub[j].ID)
 		}
 	}
 }

@@ -59,6 +59,8 @@ func (h *idHint) seed(q model.Query, pool *exec.Pool) []model.ObjectID {
 // probe pass.
 func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []model.ObjectID, pool *exec.Pool) []model.ObjectID {
 	defer q.Trace.StartStage(obs.StageIntersect).End()
+	bs := postings.GetBitmapScratch()
+	defer postings.PutBitmapScratch(bs)
 	// One probe closure per query, hoisted out of the plan loop; sorted
 	// is rebound per element so the closure always probes the current
 	// candidate set.
@@ -76,6 +78,14 @@ func (ix *BinaryIndex) probeRest(q model.Query, plan []model.ElemID, cands []mod
 		}
 		// Line 5: sort C by id so membership probes are binary searches.
 		model.SortIDs(cands)
+		// Dense candidate sets copy into a bitmap, turning each probe
+		// into an O(1) word test — and freeing cands for in-place reuse
+		// as the output buffer (each id is reported at most once).
+		if pool == nil && len(cands) >= postings.BitmapCutoff {
+			bs.Cands.SetSorted(cands)
+			cands = ix.hints[e].RangeQueryFilteredBitmap(q.Interval, &bs.Cands, cands[:0])
+			continue
+		}
 		sorted = cands
 		// Lines 7-29: traverse H[e] with the temporal flags, keeping the
 		// candidates found in qualifying divisions.
@@ -95,12 +105,21 @@ func (ix *MergeIndex) intersectRest(q model.Query, plan []model.ElemID, cands []
 	defer q.Trace.StartStage(obs.StageIntersect).End()
 	ks := keepPool.Get().(*keepScratch)
 	defer keepPool.Put(ks)
+	bs := postings.GetBitmapScratch()
+	defer postings.PutBitmapScratch(bs)
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
 			return nil
 		}
 		if int(e) >= len(ix.hints) || ix.hints[e] == nil {
 			return nil
+		}
+		// Dense candidate sets take the bitmap container path: divisions
+		// mark id bits word-addressed instead of re-merging the full
+		// candidate slice per division.
+		if pool == nil && len(cands) >= postings.BitmapCutoff {
+			cands = ix.hints[e].intersectBitmap(q.Interval, cands, &bs.Matched)
+			continue
 		}
 		keep := ks.grown(len(cands))
 		if pool != nil {
@@ -121,6 +140,8 @@ func (ix *HybridIndex) intersectSlices(q model.Query, plan []model.ElemID, cands
 	sf, sl := ix.sliceOf(q.Interval.Start), ix.sliceOf(q.Interval.End)
 	ks := keepPool.Get().(*keepScratch)
 	defer keepPool.Put(ks)
+	bs := postings.GetBitmapScratch()
+	defer postings.PutBitmapScratch(bs)
 	keep := ks.grown(len(cands))
 	for _, e := range plan[1:] {
 		if len(cands) == 0 {
@@ -130,13 +151,25 @@ func (ix *HybridIndex) intersectSlices(q model.Query, plan []model.ElemID, cands
 			return nil
 		}
 		subs := ix.slices[e][sf : sl+1]
+		// Candidates already overlap the query; any live replica proves
+		// membership, and both the keep-mask and the bitmap marks are
+		// idempotent, so replicated matches are harmless.
+		serial := pool == nil || len(subs) < parallelCutoff
+		if serial && len(cands) >= postings.BitmapCutoff {
+			// Dense candidate sets take the bitmap container path.
+			bm := &bs.Matched
+			bm.Reset(cands[len(cands)-1] + 1)
+			for _, sub := range subs {
+				markSliceBitmap(sub, bm)
+			}
+			cands = bm.KeepSorted(cands)
+			keep = keep[:len(cands)]
+			continue
+		}
 		for i := range keep {
 			keep[i] = false
 		}
-		// Candidates already overlap the query; any live replica proves
-		// membership, and the keep-mask is idempotent, so replicated
-		// matches are harmless.
-		if pool == nil || len(subs) < parallelCutoff {
+		if serial {
 			for _, sub := range subs {
 				markSlice(sub, cands, keep)
 			}

@@ -93,6 +93,14 @@ const (
 	IRHintSize     Method = "irhint/size"
 )
 
+// Routed is the adaptive meta-method: it keeps several of the above
+// builds (Options.RoutedMethods; a tuned default otherwise) and routes
+// each query to the one a learned cost model over the paper's Section 5
+// regimes — interval extent, description size, element frequency —
+// expects to be fastest. Result sets are identical to every other
+// method; only per-query latency differs.
+const Routed Method = "routed"
+
 // Methods lists every implementation in the order the paper's tables use.
 func Methods() []Method {
 	return []Method{
@@ -116,6 +124,10 @@ type Options struct {
 	// CostModelM derives M from the HINT cost model (always on for the
 	// irHINT variants when M is zero).
 	CostModelM bool
+	// RoutedMethods selects the sub-builds the Routed meta-method keeps
+	// and routes across (nil = DefaultRoutedMethods). Ignored by every
+	// other method. Routed itself is rejected as an entry.
+	RoutedMethods []Method
 }
 
 // NewIndex builds the selected index over a collection.
@@ -153,6 +165,8 @@ func NewIndex(m Method, c *Collection, opts Options) (Index, error) {
 		return core.NewPerf(c, irOpts(opts)...), nil
 	case IRHintSize:
 		return core.NewSize(c, irOpts(opts)...), nil
+	case Routed:
+		return newRoutedIndex(c, opts)
 	default:
 		return nil, fmt.Errorf("temporalir: unknown method %q", m)
 	}
