@@ -34,7 +34,9 @@ invariants:
 # annotation/ctx fixes did not regress qps, then the post-allocation-
 # contract snapshot, then the bitmap-container + adaptive-router
 # snapshot (routejson adds the routed method row and per-regime routing
-# quality), each diffed against its predecessor by benchdiff.
+# quality), then the multi-tenant serving snapshot (tenantjson adds
+# per-tenant qps/p99/fairness at 1/4/16 tenants), each diffed against
+# its predecessor by benchdiff.
 bench:
 	$(GO) run ./cmd/irbench -exp perfjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr3.json
 	$(GO) run ./cmd/irbench -exp tombstone -scale 0.02 -queries 200 -seed 42 -json BENCH_pr4.json
@@ -44,15 +46,17 @@ bench:
 	$(GO) run ./cmd/benchdiff -old BENCH_pr6.json -new BENCH_pr7.json
 	$(GO) run ./cmd/irbench -exp routejson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr8.json
 	$(GO) run ./cmd/benchdiff -old BENCH_pr7.json -new BENCH_pr8.json
+	$(GO) run ./cmd/irbench -exp tenantjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr9.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr8.json -new BENCH_pr9.json
 
 # Re-measure the hot-path allocation budgets (BENCH_BUDGET.json), then
 # re-run the gate against the fresh numbers. -p 1 keeps the in-process
 # benchmarks off shared cores; -count=1 defeats test caching.
 benchmem:
 	ALLOC_BUDGET_RECORD=1 $(GO) test -run TestAllocBudget -count=1 -p 1 \
-		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route ./internal/tenant
 	$(GO) test -run TestAllocBudget -count=1 -p 1 \
-		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route
+		./internal/postings ./internal/hint ./internal/tifhint ./internal/compress ./internal/route ./internal/tenant
 
 # Full Go microbenchmark sweep (slow; not part of the gate).
 microbench:

@@ -95,6 +95,14 @@ type Engine struct {
 // (Objects[i].ID == i), which Builder, LoadEngine and
 // EngineFromCollection all guarantee.
 func newEngine(d *dict.Dictionary, coll *Collection, m Method, opts Options) (*Engine, error) {
+	return newEngineWithIdentity(d, coll, m, opts, nil, 0)
+}
+
+// newEngineWithIdentity is newEngine with an explicit external-id table
+// and next-id counter (nil ext selects the dense identity mapping) —
+// the construction path LoadEngine uses to restore object identity from
+// a version-2 snapshot.
+func newEngineWithIdentity(d *dict.Dictionary, coll *Collection, m Method, opts Options, ext []ObjectID, next ObjectID) (*Engine, error) {
 	ix, err := NewIndex(m, coll, opts)
 	if err != nil {
 		return nil, err
@@ -122,12 +130,18 @@ func newEngine(d *dict.Dictionary, coll *Collection, m Method, opts Options) (*E
 		}
 		return nix, nil
 	}
+	var store *maint.Store
+	if ext != nil {
+		store = maint.NewStoreWithIdentity(coll, ix, build, ext, next)
+	} else {
+		store = maint.NewStore(coll, ix, build)
+	}
 	return &Engine{
 		method: m,
 		opts:   opts,
 		router: router,
 		dict:   d,
-		store:  maint.NewStore(coll, ix, build),
+		store:  store,
 	}, nil
 }
 
@@ -171,6 +185,18 @@ func (e *Engine) resolveTermsTraced(tr *obs.Trace, terms []string) ([]ElemID, bo
 
 // Method returns the index implementation in use.
 func (e *Engine) Method() Method { return e.method }
+
+// IndexOptions returns the construction options the engine was built
+// with — what a factory needs to spawn sibling engines of the same
+// configuration (the multi-tenant registry's create-on-first-use path).
+func (e *Engine) IndexOptions() Options { return e.opts }
+
+// Epoch returns the current generation's epoch. It advances on every
+// published mutation (insert, delete, scorer refresh, compaction), so
+// owners managing many engines — the tenant registry's evict-to-disk
+// path — can cheaply detect whether an engine changed since a snapshot
+// was last saved.
+func (e *Engine) Epoch() uint64 { return e.snapshot().Epoch() }
 
 // Index exposes the current generation's main index for advanced use.
 // It covers the compacted prefix only — objects inserted since the last

@@ -80,6 +80,7 @@ func Experiments() []Experiment {
 		{"tombstone", "Tombstone load: query latency vs deleted fraction, before/after compaction", RunTombstone},
 		{"obsjson", "Observability: disabled-trace overhead budget + per-stage query breakdown", RunObsJSON},
 		{"routejson", "Adaptive routing: per-regime throughput + router hit-rate vs best sub-build", RunRouteJSON},
+		{"tenantjson", "Multi-tenant serving: per-tenant qps, tail latency and fairness at 1/4/16 tenants", RunTenantJSON},
 	}
 }
 

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	temporalir "repro"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/tenant"
+)
+
+// TenantFleet is one row of the multi-tenant serving experiment: N
+// identical tenants, each with its own engine over the same corpus,
+// hammering the shared admission stack (global gate + weighted fair
+// share) concurrently for a fixed wall budget.
+type TenantFleet struct {
+	Tenants int `json:"tenants"`
+	// Greedy marks the variant where tenant 0 runs one worker per gate
+	// slot instead of one: the fair share must hold it to its fraction
+	// (ShareRejects > 0) while the polite siblings keep their throughput.
+	Greedy bool `json:"greedy,omitempty"`
+	// AggregateQPS sums every tenant's served queries per second.
+	AggregateQPS float64 `json:"aggregate_qps"`
+	// PerTenantQPS is the mean across tenants.
+	PerTenantQPS float64 `json:"per_tenant_qps"`
+	MinQPS       float64 `json:"min_qps"`
+	MaxQPS       float64 `json:"max_qps"`
+	// FairnessRatio is MinQPS/MaxQPS: 1.0 is perfectly fair, small
+	// values mean some tenant starved.
+	FairnessRatio float64 `json:"fairness_ratio"`
+	// P99Ms is the worst per-tenant p99 query latency in milliseconds —
+	// the QoS number a tenant actually experiences under contention.
+	P99Ms float64 `json:"p99_ms"`
+	// ShareRejects counts fair-share rejections across the run: zero at
+	// one tenant (a lone tenant owns the whole gate), nonzero under
+	// contention (the mechanism actually engaged).
+	ShareRejects uint64 `json:"share_rejects"`
+}
+
+// TenantReport is the BENCH_pr9.json schema. Methods carries the same
+// untraced_queries_per_sec rows as the earlier snapshots so
+// cmd/benchdiff gates this artifact against BENCH_pr8.json directly;
+// Fleets carries the multi-tenant serving evaluation.
+type TenantReport struct {
+	Scale      float64       `json:"scale"`
+	NumQueries int           `json:"num_queries"`
+	Seed       int64         `json:"seed"`
+	Objects    int           `json:"objects"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Methods    []ObsMethod   `json:"methods"`
+	Fleets     []TenantFleet `json:"fleets"`
+}
+
+// fleetSizes are the tenant counts of the serving sweep.
+var fleetSizes = []int{1, 4, 16}
+
+// fleetBudget scales the wall time with the fleet so every tenant gets
+// enough scheduler slices for a stable rate even on a single-core box.
+func fleetBudget(n int) time.Duration {
+	d := time.Duration(n) * 100 * time.Millisecond
+	if d < 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// RunTenantJSON measures the multi-tenant serving layer: (1) every
+// method's untraced throughput on the default workload — the
+// benchdiff-gated rows; (2) per-tenant throughput, tail latency and
+// fairness with 1, 4 and 16 tenants sharing one node through the
+// gate + fair-share admission stack. cfg.JSONPath receives the
+// TenantReport (BENCH_pr9.json).
+func RunTenantJSON(cfg Config) {
+	cfg = cfg.Normalize()
+	coll := syntheticDefault(cfg, nil)
+	queries := defaultWorkload(coll, cfg)
+	report := TenantReport{
+		Scale:      cfg.Scale,
+		NumQueries: cfg.NumQueries,
+		Seed:       cfg.Seed,
+		Objects:    coll.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// (1) The benchdiff-gated method rows.
+	tbl := &Table{
+		Title:  "Untraced throughput, default workload (benchdiff rows)",
+		Header: []string{"method", "queries/s"},
+	}
+	methods := append([]temporalir.Method{temporalir.TIF}, temporalir.Methods()...)
+	methods = append(methods, temporalir.Routed)
+	for _, m := range methods {
+		ix, _ := MeasureBuild(m, coll, temporalir.Options{})
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			if qps := Throughput(ix, queries); qps > best {
+				best = qps
+			}
+		}
+		report.Methods = append(report.Methods, ObsMethod{
+			Method:      string(m),
+			Label:       shortName(m),
+			UntracedQPS: best,
+		})
+		tbl.Add(shortName(m), f0(best))
+	}
+	tbl.Fprint(cfg.Out)
+
+	// (2) The serving sweep. Every tenant gets its own engine over the
+	// same corpus (isolation is the product constraint, identical data
+	// keeps per-tenant work comparable); queries go through the same
+	// admission stack internal/server runs: a global gate sized like the
+	// server's default, fair share over it.
+	ftbl := &Table{
+		Title:  "Multi-tenant serving (gate + fair share)",
+		Header: []string{"tenants", "per-tenant q/s", "min q/s", "max q/s", "fairness", "worst p99 ms", "share rejects"},
+	}
+	for _, n := range fleetSizes {
+		row := runFleet(cfg, coll, queries, n, false)
+		report.Fleets = append(report.Fleets, row)
+		ftbl.Add(fmt.Sprint(n), f0(row.PerTenantQPS), f0(row.MinQPS), f0(row.MaxQPS),
+			f2(row.FairnessRatio), f2(row.P99Ms), fmt.Sprint(row.ShareRejects))
+	}
+	// The QoS case: one tenant floods the gate with a worker per slot;
+	// fair share must pin it to its fraction while siblings keep serving.
+	greedy := runFleet(cfg, coll, queries, 4, true)
+	report.Fleets = append(report.Fleets, greedy)
+	ftbl.Add("4+greedy", f0(greedy.PerTenantQPS), f0(greedy.MinQPS), f0(greedy.MaxQPS),
+		f2(greedy.FairnessRatio), f2(greedy.P99Ms), fmt.Sprint(greedy.ShareRejects))
+	ftbl.Fprint(cfg.Out)
+
+	if cfg.JSONPath == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "tenantjson: marshal: %v\n", err)
+		return
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(cfg.JSONPath, blob, 0o644); err != nil {
+		fmt.Fprintf(cfg.Out, "tenantjson: write %s: %v\n", cfg.JSONPath, err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s\n", cfg.JSONPath)
+}
+
+// buildTenantEngine constructs one tenant's engine from the shared
+// collection, surfacing element ids as "e<ID>" terms (the same mapping
+// irserve uses for .tirc datasets).
+func buildTenantEngine(coll *model.Collection) *temporalir.Engine {
+	b := temporalir.NewBuilder()
+	for i := range coll.Objects {
+		o := &coll.Objects[i]
+		terms := make([]string, len(o.Elems))
+		for k, e := range o.Elems {
+			terms[k] = fmt.Sprintf("e%d", e)
+		}
+		b.Add(o.Interval.Start, o.Interval.End, terms...)
+	}
+	eng, err := b.Build(temporalir.IRHintPerf, temporalir.Options{})
+	if err != nil {
+		panic(err) // lint:panic-ok registry methods cannot fail
+	}
+	return eng
+}
+
+// queryTerms translates a model workload query to the engine's string
+// vocabulary.
+func queryTerms(q model.Query) []string {
+	terms := make([]string, len(q.Elems))
+	for i, e := range q.Elems {
+		terms[i] = fmt.Sprintf("e%d", e)
+	}
+	return terms
+}
+
+// runFleet runs n tenants concurrently for the fleet's wall budget and
+// reports per-tenant throughput, fairness and worst-tenant p99. Each
+// tenant normally runs one synchronous worker (one slot in flight, like
+// a well-behaved client); greedy gives tenant 0 a worker per gate slot.
+func runFleet(cfg Config, coll *model.Collection, queries []model.Query, n int, greedy bool) TenantFleet {
+	engines := make([]*temporalir.Engine, n)
+	for i := range engines {
+		engines[i] = buildTenantEngine(coll)
+	}
+	termRows := make([][]string, len(queries))
+	for i, q := range queries {
+		termRows[i] = queryTerms(q)
+	}
+
+	capacity := 4 * runtime.GOMAXPROCS(0) // the server's default MaxInFlight
+	gate := exec.NewGate(capacity)
+	fair := tenant.NewFairShare(capacity, 0)
+
+	type tenantStats struct {
+		served    atomic.Int64
+		rejects   atomic.Uint64
+		mu        sync.Mutex
+		latencies []time.Duration
+	}
+	stats := make([]*tenantStats, n)
+	for i := range stats {
+		stats[i] = &tenantStats{}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(fleetBudget(n))
+	// Each admission covers a batch of queries — the same one-slot-per-
+	// batch accounting the server's /search/batch endpoint uses. Long
+	// holds are what makes admission measurable: per-query holds on a
+	// sub-millisecond workload almost never overlap, and the sweep would
+	// measure the Go scheduler instead of the admission stack.
+	const batchOps = 256
+	worker := func(ti int) {
+		id := fmt.Sprintf("t%02d", ti)
+		eng := engines[ti]
+		st := stats[ti]
+		var lat []time.Duration
+		for qi := 0; time.Now().Before(deadline); {
+			// The server's admission order: gate, then fair share.
+			if !gate.TryAcquire() {
+				runtime.Gosched()
+				continue
+			}
+			if !fair.Acquire(id, 1, time.Now()) {
+				gate.Release()
+				st.rejects.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			lat = lat[:0]
+			for b := 0; b < batchOps; b++ {
+				q := queries[qi%len(queries)]
+				terms := termRows[qi%len(queries)]
+				qi++
+				t0 := time.Now()
+				_ = eng.Search(q.Interval.Start, q.Interval.End, terms...)
+				lat = append(lat, time.Since(t0))
+				if b%32 == 31 {
+					// Yield mid-hold, as a handler does on response I/O;
+					// this is what lets same-tenant workers overlap (and
+					// the share cap engage) even on one core.
+					runtime.Gosched()
+				}
+			}
+			st.served.Add(batchOps)
+			fair.Release(id)
+			gate.Release()
+			st.mu.Lock()
+			st.latencies = append(st.latencies, lat...)
+			st.mu.Unlock()
+			// Yield at the batch boundary, as an HTTP handler naturally
+			// would between requests.
+			runtime.Gosched()
+		}
+	}
+	for ti := 0; ti < n; ti++ {
+		workers := 1
+		if greedy && ti == 0 {
+			workers = capacity
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				worker(ti)
+			}(ti)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	row := TenantFleet{Tenants: n, Greedy: greedy, MinQPS: -1}
+	var worstP99 time.Duration
+	for i := range stats {
+		qps := float64(stats[i].served.Load()) / elapsed
+		row.AggregateQPS += qps
+		if row.MinQPS < 0 || qps < row.MinQPS {
+			row.MinQPS = qps
+		}
+		if qps > row.MaxQPS {
+			row.MaxQPS = qps
+		}
+		row.ShareRejects += stats[i].rejects.Load()
+		if p := p99(stats[i].latencies); p > worstP99 {
+			worstP99 = p
+		}
+	}
+	row.PerTenantQPS = row.AggregateQPS / float64(n)
+	if row.MaxQPS > 0 {
+		row.FairnessRatio = row.MinQPS / row.MaxQPS
+	}
+	row.P99Ms = float64(worstP99) / float64(time.Millisecond)
+	return row
+}
+
+// p99 returns the 99th-percentile duration (zero for empty input).
+func p99(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -27,6 +27,21 @@ var magic = [4]byte{'T', 'I', 'R', 'C'}
 
 const version = 1
 
+// Order returns the permutation Write applies: object indices in the
+// order they are written (sorted by interval start). Callers that
+// serialize per-object sidecar data next to a collection use it to
+// write their tables in the same order.
+func Order(c *model.Collection) []int {
+	order := make([]int, len(c.Objects))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return c.Objects[order[a]].Interval.Start < c.Objects[order[b]].Interval.Start
+	})
+	return order
+}
+
 // Write serializes the collection. The input is not mutated: objects are
 // sorted by interval start into a scratch index first.
 func Write(w io.Writer, c *model.Collection) error {
@@ -54,13 +69,7 @@ func Write(w io.Writer, c *model.Collection) error {
 	if err := putUvarint(uint64(len(c.Objects))); err != nil {
 		return err
 	}
-	order := make([]int, len(c.Objects))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return c.Objects[order[a]].Interval.Start < c.Objects[order[b]].Interval.Start
-	})
+	order := Order(c)
 	prevStart := int64(0)
 	for _, oi := range order {
 		o := &c.Objects[oi]

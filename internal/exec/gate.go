@@ -1,0 +1,48 @@
+package exec
+
+import "sync/atomic"
+
+// Gate is a lock-free counting semaphore bounding the number of
+// requests admitted process-wide. Unlike a channel-based semaphore it
+// never blocks: admission control wants an immediate yes/no so the
+// caller can shed load with a 503 instead of queueing unboundedly.
+type Gate struct {
+	capacity int64
+	inUse    atomic.Int64
+}
+
+// NewGate returns a gate admitting at most capacity concurrent holders.
+// Capacity must be positive.
+func NewGate(capacity int) *Gate {
+	if capacity <= 0 {
+		panic("exec: gate capacity must be positive") // lint:panic-ok construction-time programming error
+	}
+	return &Gate{capacity: int64(capacity)}
+}
+
+// TryAcquire claims one slot, reporting false if the gate is full. The
+// increment-then-check shape keeps the fast path to a single atomic op;
+// an over-admit is immediately rolled back, so InUse can transiently
+// read capacity+k under contention but admitted holders never exceed
+// capacity.
+func (g *Gate) TryAcquire() bool {
+	if g.inUse.Add(1) > g.capacity {
+		g.inUse.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns one slot claimed by a successful TryAcquire.
+func (g *Gate) Release() {
+	if g.inUse.Add(-1) < 0 {
+		panic("exec: gate released more than acquired") // lint:panic-ok caller bug: unbalanced Release
+	}
+}
+
+// InUse returns the number of currently held slots (transiently up to
+// capacity plus the number of racing TryAcquire calls).
+func (g *Gate) InUse() int { return int(g.inUse.Load()) }
+
+// Capacity returns the gate's admission bound.
+func (g *Gate) Capacity() int { return int(g.capacity) }

@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGateBounds(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("gate rejected within capacity")
+	}
+	if g.TryAcquire() {
+		t.Fatal("gate admitted past capacity")
+	}
+	if g.InUse() != 2 {
+		t.Fatalf("InUse = %d", g.InUse())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("gate rejected after release")
+	}
+	g.Release()
+	g.Release()
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after drain = %d", g.InUse())
+	}
+	if g.Capacity() != 2 {
+		t.Fatalf("Capacity = %d", g.Capacity())
+	}
+}
+
+func TestGateUnbalancedReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	NewGate(1).Release()
+}
+
+func TestGateConcurrentNeverOverAdmits(t *testing.T) {
+	const capacity, workers, rounds = 4, 32, 200
+	g := NewGate(capacity)
+	var held, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !g.TryAcquire() {
+					continue
+				}
+				h := held.Add(1)
+				for {
+					p := peak.Load()
+					if h <= p || peak.CompareAndSwap(p, h) {
+						break
+					}
+				}
+				held.Add(-1)
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak admitted %d > capacity %d", p, capacity)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after drain = %d", g.InUse())
+	}
+}

@@ -181,6 +181,7 @@ func (s *Store) swapCompacted(g0 *Generation, newColl *model.Collection, base In
 		mem:        Memtable{objs: newColl.Objects[base0:n:n], bytes: memBytes},
 		dead:       dead,
 		ext:        ext[:n:n],
+		nextExt:    s.nextExt,
 		scorer:     cur.scorer,
 	})
 }

@@ -31,6 +31,9 @@ func checkGeneration(g *Generation) {
 			panic(fmt.Sprintf("maint: invariant violation: ext table not strictly ascending at %d (%d >= %d)", i, g.ext[i-1], g.ext[i]))
 		}
 	}
+	if n > 0 && g.ext[n-1] >= g.nextExt {
+		panic(fmt.Sprintf("maint: invariant violation: nextExt %d not past last external id %d", g.nextExt, g.ext[n-1]))
+	}
 	if g.compactLen < 0 || g.compactLen > n {
 		panic(fmt.Sprintf("maint: invariant violation: compactLen %d out of range [0,%d]", g.compactLen, n))
 	}

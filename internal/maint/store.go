@@ -114,12 +114,35 @@ func NewStore(coll *model.Collection, base Index, build BuildFunc) *Store {
 	for i := range ext {
 		ext[i] = model.ObjectID(i)
 	}
+	return NewStoreWithIdentity(coll, base, build, ext, model.ObjectID(n))
+}
+
+// NewStoreWithIdentity is NewStore with an explicit external-id table
+// and next-id counter — the load half of identity-preserving
+// persistence. ext must be strictly ascending, parallel to
+// coll.Objects, with every entry below next; the store takes ownership
+// of both slices. A store rebuilt this way hands out exactly the ids
+// the saved store would have, so an engine that is saved, dropped and
+// reloaded is indistinguishable to clients holding object ids.
+func NewStoreWithIdentity(coll *model.Collection, base Index, build BuildFunc, ext []model.ObjectID, next model.ObjectID) *Store {
+	n := len(coll.Objects)
+	if len(ext) != n {
+		panic("maint: identity table length mismatch") // lint:panic-ok construction-time programming error
+	}
+	for i := 1; i < n; i++ {
+		if ext[i] <= ext[i-1] {
+			panic("maint: identity table not strictly ascending") // lint:panic-ok construction-time programming error
+		}
+	}
+	if n > 0 && ext[n-1] >= next {
+		panic("maint: next external id not past the identity table") // lint:panic-ok construction-time programming error
+	}
 	s := &Store{
 		build:      build,
 		objects:    coll.Objects,
 		ext:        ext,
 		compactLen: n,
-		nextExt:    model.ObjectID(n),
+		nextExt:    next,
 	}
 	s.publish(&Generation{
 		epoch:      1,
@@ -127,6 +150,7 @@ func NewStore(coll *model.Collection, base Index, build BuildFunc) *Store {
 		base:       base,
 		compactLen: n,
 		ext:        ext[:n:n],
+		nextExt:    next,
 	})
 	return s
 }
@@ -165,6 +189,7 @@ func (s *Store) Append(iv model.Interval, elems []model.ElemID, dictSize int) mo
 	}
 	g.coll = &model.Collection{Objects: s.objects[:n:n], DictSize: ds}
 	g.ext = s.ext[:n:n]
+	g.nextExt = s.nextExt
 	g.mem = Memtable{objs: s.objects[s.compactLen:n:n], bytes: s.memBytes}
 	s.publish(g)
 	auto := s.policy.enabled() && s.policy.triggered(g)

@@ -282,6 +282,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot families AND their sample slices under the lock: tenants
+	// register series at runtime, so samples may be appended
+	// concurrently with a scrape. Callbacks still run outside the lock,
+	// so scrape-time fns may take other locks freely.
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families { // lint:map-order-ok sink is sorted below
@@ -290,7 +294,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	fams := make([]*familyDef, len(names))
 	for i, name := range names {
-		fams[i] = r.families[name]
+		src := r.families[name]
+		f := &familyDef{name: src.name, help: src.help, kind: src.kind, bounds: src.bounds}
+		f.samples = append(f.samples, src.samples...)
+		fams[i] = f
 	}
 	r.mu.Unlock()
 

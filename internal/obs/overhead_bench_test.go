@@ -79,6 +79,12 @@ func TestDisabledOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive")
 	}
+	if raceEnabled {
+		// The detector's per-access instrumentation costs the two arms
+		// differently, so the 5% ratio is noise under -race; the budget
+		// is enforced by the regular (tier-1) test run.
+		t.Skip("timing budget is not meaningful under -race")
+	}
 	// Three attempts: timing tests on loaded CI machines need slack.
 	var last float64
 	for attempt := 0; attempt < 3; attempt++ {

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// budgets are only meaningful without its instrumentation.
+const raceEnabled = true

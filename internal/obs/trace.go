@@ -69,6 +69,7 @@ type Trace struct {
 	method  string
 	shape   atomic.Pointer[string]
 	route   atomic.Pointer[string]
+	tenant  atomic.Pointer[string]
 	start   time.Time
 	stageNS [NumStages]atomic.Int64
 	stageN  [NumStages]atomic.Int64
@@ -140,6 +141,26 @@ func (t *Trace) Route() string {
 	return ""
 }
 
+// SetTenant records which tenant the traced request belongs to, so
+// slow-log entries are attributable in a multi-tenant deployment.
+func (t *Trace) SetTenant(id string) {
+	if t != nil {
+		t.tenant.Store(&id)
+	}
+}
+
+// Tenant returns the recorded tenant id, or "" when none was set (or
+// the trace is nil).
+func (t *Trace) Tenant() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.tenant.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // SetBatch records how many sub-queries this trace covers.
 func (t *Trace) SetBatch(n int) {
 	if t != nil {
@@ -167,6 +188,7 @@ type StageSummary struct {
 type Summary struct {
 	Time     time.Time      `json:"time"`
 	Method   string         `json:"method"`
+	Tenant   string         `json:"tenant,omitempty"`
 	Shape    string         `json:"shape,omitempty"`
 	Route    string         `json:"route,omitempty"`
 	Batch    int64          `json:"batch,omitempty"`
@@ -187,6 +209,9 @@ func (t *Trace) Summary() Summary {
 		Batch:    t.batch.Load(),
 		Results:  t.results.Load(),
 		Duration: time.Since(t.start),
+	}
+	if p := t.tenant.Load(); p != nil {
+		s.Tenant = *p
 	}
 	if p := t.shape.Load(); p != nil {
 		s.Shape = *p

@@ -33,8 +33,9 @@ func TestBackpressure503(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	srv.inflight <- struct{}{}
-	srv.inflight <- struct{}{}
+	if !srv.gate.TryAcquire() || !srv.gate.TryAcquire() {
+		t.Fatal("could not fill the admission gate")
+	}
 
 	resp, err := http.Get(ts.URL + "/search?start=0&end=100&q=alpha")
 	if err != nil {
@@ -66,7 +67,7 @@ func TestBackpressure503(t *testing.T) {
 	}
 
 	// Draining one slot readmits queries.
-	<-srv.inflight
+	srv.gate.Release()
 	resp, err = http.Get(ts.URL + "/search?start=0&end=100&q=alpha")
 	if err != nil {
 		t.Fatal(err)

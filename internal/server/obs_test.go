@@ -113,8 +113,9 @@ func TestTimelineAdmissionControl(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	srv.inflight <- struct{}{}
-	srv.inflight <- struct{}{}
+	if !srv.gate.TryAcquire() || !srv.gate.TryAcquire() {
+		t.Fatal("could not fill the admission gate")
+	}
 
 	resp, err := http.Get(ts.URL + "/timeline?start=0&end=100&q=alpha")
 	if err != nil {
@@ -128,7 +129,7 @@ func TestTimelineAdmissionControl(t *testing.T) {
 		t.Fatal("503 response missing Retry-After")
 	}
 
-	<-srv.inflight
+	srv.gate.Release()
 	resp, err = http.Get(ts.URL + "/timeline?start=0&end=100&q=alpha")
 	if err != nil {
 		t.Fatal(err)
@@ -159,8 +160,9 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 
 	// One admission rejection.
-	srv.inflight <- struct{}{}
-	srv.inflight <- struct{}{}
+	if !srv.gate.TryAcquire() || !srv.gate.TryAcquire() {
+		t.Fatal("could not fill the admission gate")
+	}
 	resp, err = http.Get(ts.URL + "/search?start=0&end=100&q=alpha")
 	if err != nil {
 		t.Fatal(err)
@@ -169,8 +171,8 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated search: status %d, want 503", resp.StatusCode)
 	}
-	<-srv.inflight
-	<-srv.inflight
+	srv.gate.Release()
+	srv.gate.Release()
 
 	// One compaction (needs pending work to not no-op).
 	resp, err = http.Post(ts.URL+"/objects", "application/json",

@@ -98,7 +98,7 @@ func TestSlowSearchDoesNotBlockInsert(t *testing.T) {
 	}()
 
 	// Wait until the batch actually holds its admission slot.
-	for i := 0; len(srv.inflight) == 0; i++ {
+	for i := 0; srv.gate.InUse() == 0; i++ {
 		if i > 10000 {
 			t.Fatal("batch search never acquired an in-flight slot")
 		}

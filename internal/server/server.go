@@ -1,4 +1,4 @@
-// Package server exposes a temporalir Engine over HTTP/JSON — the
+// Package server exposes temporalir engines over HTTP/JSON — the
 // "search interface to multiple users simultaneously" deployment the
 // paper's throughput metric models (public archives, footnote 11).
 // Reads run concurrently against immutable generation snapshots and
@@ -6,12 +6,23 @@
 // auto-compaction policy) folds accumulated inserts and deletes into a
 // freshly rebuilt index off the read path.
 //
+// The server is multi-tenant: every request resolves a tenant (the
+// X-Scope-OrgID header, or a configurable default for single-tenant
+// deployments) to its own engine in a tenant.Registry — created
+// lazily, evicted to a spill file when cold, reloaded transparently.
+// Admission is layered per request:
+//
+//  1. the tenant's own limits (token-bucket rate, in-flight cap) — a
+//     429 with Retry-After, counted in tir_tenant_rejected_total;
+//  2. the global in-flight gate — a 503, the node itself is saturated;
+//  3. weighted fair share — a 429: the node has room but this tenant
+//     is over its fraction of it, so siblings keep their latency.
+//
 // The server is also the integration point of the observability layer
-// (internal/obs): every query endpoint records per-method counters and
-// latency histograms, carries a trace recorder through the engine's
-// stages, and feeds finished traces to the slow-query log. GET /metrics
-// renders the registry in the Prometheus text format; GET /debug/slow
-// dumps the slow-query ring.
+// (internal/obs): per-method counters and latency histograms globally
+// and per tenant (under a bounded label budget — see the series limit),
+// traces carried through the engine's stages with tenant attribution in
+// the slow-query log, and GET /metrics in the Prometheus text format.
 package server
 
 import (
@@ -19,36 +30,77 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	temporalir "repro"
+	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 	"repro/internal/textutil"
 )
 
-// Options tunes the server's admission control and observability.
+// Options tunes the server's admission control, tenancy and
+// observability.
 type Options struct {
 	// QueryTimeout bounds each search request's evaluation; expired
 	// requests answer 504. Zero selects DefaultQueryTimeout; negative
 	// disables the timeout.
 	QueryTimeout time.Duration
-	// MaxInFlight caps concurrently evaluating search requests. Excess
-	// requests are rejected immediately with 503 and a Retry-After hint —
-	// backpressure instead of a lock convoy. Zero selects
-	// 4 x GOMAXPROCS; negative disables the cap.
+	// MaxInFlight caps concurrently evaluating search requests across
+	// all tenants. Excess requests are rejected immediately with 503
+	// and a Retry-After hint — backpressure instead of a lock convoy.
+	// Zero selects 4 x GOMAXPROCS; negative disables the cap (which
+	// also disables fair-share admission).
 	MaxInFlight int
 	// Obs supplies the metrics registry, tracer and slow-query log. nil
 	// makes the server construct its own default Observer.
 	Obs *obs.Observer
+
+	// DefaultTenant is the tenant served to requests without an
+	// identity header. Empty selects tenant.DefaultID, so existing
+	// single-tenant clients keep working unchanged.
+	DefaultTenant string
+	// RequireTenant, when set, refuses requests without an identity
+	// header with 401 instead of falling back to the default tenant.
+	RequireTenant bool
+	// MaxTenants caps resident tenants; at the cap a cold tenant is
+	// evicted (SpillDir set) or new tenants are rejected with 429.
+	// Zero means unlimited.
+	MaxTenants int
+	// SpillDir is where evicted tenants are saved and reloaded from.
+	// Empty disables eviction.
+	SpillDir string
+	// TenantLimits resolves a tenant's limits at creation time; nil
+	// means every tenant is unlimited with weight 1.
+	TenantLimits func(id string) tenant.Limits
+	// TenantSeriesLimit bounds how many distinct tenants get dedicated
+	// per-tenant metric series; tenants beyond it are attributed to the
+	// aggregate "_other" series so scrape cardinality stays bounded no
+	// matter how many tenants appear. Zero selects
+	// DefaultTenantSeriesLimit.
+	TenantSeriesLimit int
+	// FairWindow is the fair-share activity window; zero selects
+	// tenant.DefaultWindow.
+	FairWindow time.Duration
 }
 
 // DefaultQueryTimeout bounds search evaluation when Options.QueryTimeout
 // is zero.
 const DefaultQueryTimeout = 5 * time.Second
+
+// DefaultTenantSeriesLimit is the default budget of tenants with
+// dedicated metric series.
+const DefaultTenantSeriesLimit = 64
+
+// otherTenant is the overflow label value for tenants past the series
+// budget, and for rejections of tenants that were never admitted.
+const otherTenant = "_other"
 
 // queryMetrics is the per-method handle pair the handlers record into.
 type queryMetrics struct {
@@ -56,23 +108,63 @@ type queryMetrics struct {
 	seconds *obs.Histogram
 }
 
-// Server is an http.Handler serving one engine.
+// tenantMetrics is one tenant's pre-resolved metric handles. It is
+// attached as the registry tag under the registry lock at tenant
+// creation and read-only afterwards; re-creating a tenant after an
+// eviction resolves the same series again, so counts survive the
+// engine's lifecycle.
+type tenantMetrics struct {
+	search   queryMetrics
+	topk     queryMetrics
+	batch    queryMetrics
+	timeline queryMetrics
+	// rejected is keyed by the fixed tenant.Reasons set — bounded
+	// cardinality by construction.
+	rejected map[string]*obs.Counter
+}
+
+func (tm *tenantMetrics) reject(reason string) {
+	if c := tm.rejected[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// Server is an http.Handler serving a registry of tenant engines.
 //
 // It holds no lock around query evaluation: engine reads resolve one
-// immutable generation snapshot (engine.snapshot / Store.Snapshot) and
-// run entirely against it, and engine writes serialize internally on
-// the store's writer mutex. The former Server.mu RWMutex — which held
-// readers across whole evaluations and let a slow search block every
-// insert — is gone; the snapshot guarantee makes it redundant.
+// immutable generation snapshot and run entirely against it, and
+// engine writes serialize internally on the store's writer mutex.
 type Server struct {
-	engine *temporalir.Engine
-	mux    *http.ServeMux
-	obs    *obs.Observer
-	// queryTimeout and inflight are immutable after construction.
+	reg *tenant.Registry[*temporalir.Engine]
+	mux *http.ServeMux
+	obs *obs.Observer
+	// queryTimeout, gate, fair and tenancy settings are immutable after
+	// construction.
 	queryTimeout time.Duration
-	// inflight is the admission semaphore: a slot is held for the whole
+	// gate is the global admission bound; a slot is held for the whole
 	// evaluation of a search request. nil means uncapped.
-	inflight chan struct{}
+	gate *exec.Gate
+	// fair apportions the gate's capacity across active tenants by
+	// weight. nil iff gate is nil.
+	fair          *tenant.FairShare
+	defaultTenant string
+	requireTenant bool
+
+	// seed is the engine the server was constructed around; it defines
+	// the method/options every tenant engine is built with and serves
+	// the default tenant.
+	seed *temporalir.Engine
+	// seedUsed makes the seed single-use in the registry New closure.
+	seedUsed sync.Once
+
+	// smu guards the per-tenant series budget.
+	smu sync.Mutex
+	// series maps tenant ids that own dedicated metric series.
+	// irlint:guarded-by smu
+	series map[string]*tenantMetrics
+	// seriesLimit is the budget; otherMetrics absorbs the overflow.
+	seriesLimit  int
+	otherMetrics *tenantMetrics
 
 	metSearch   queryMetrics
 	metTopK     queryMetrics
@@ -85,14 +177,17 @@ type Server struct {
 	inflightG   *obs.Gauge
 }
 
-// New wraps an engine with default admission control. The engine must
-// not be mutated elsewhere while the server is live.
+// New wraps an engine with default admission control and tenancy. The
+// engine serves the default tenant and must not be mutated elsewhere
+// while the server is live.
 func New(engine *temporalir.Engine) *Server {
 	return NewWithOptions(engine, Options{})
 }
 
-// NewWithOptions wraps an engine with explicit timeout, backpressure
-// and observability settings.
+// NewWithOptions wraps an engine with explicit timeout, backpressure,
+// tenancy and observability settings. The engine becomes the default
+// tenant's engine; additional tenants get fresh engines with the same
+// method and index options.
 func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	if opts.QueryTimeout == 0 {
 		opts.QueryTimeout = DefaultQueryTimeout
@@ -103,15 +198,48 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	if opts.Obs == nil {
 		opts.Obs = obs.NewObserver(obs.Config{})
 	}
+	if opts.DefaultTenant == "" {
+		opts.DefaultTenant = tenant.DefaultID
+	}
+	if opts.TenantSeriesLimit == 0 {
+		opts.TenantSeriesLimit = DefaultTenantSeriesLimit
+	}
 	s := &Server{
-		engine:       engine,
-		mux:          http.NewServeMux(),
-		obs:          opts.Obs,
-		queryTimeout: opts.QueryTimeout,
+		mux:           http.NewServeMux(),
+		obs:           opts.Obs,
+		queryTimeout:  opts.QueryTimeout,
+		defaultTenant: opts.DefaultTenant,
+		requireTenant: opts.RequireTenant,
+		seed:          engine,
+		series:        make(map[string]*tenantMetrics),
+		seriesLimit:   opts.TenantSeriesLimit,
 	}
 	if opts.MaxInFlight > 0 {
-		s.inflight = make(chan struct{}, opts.MaxInFlight)
+		s.gate = exec.NewGate(opts.MaxInFlight)
+		s.fair = tenant.NewFairShare(opts.MaxInFlight, opts.FairWindow)
 	}
+	method, idxOpts := engine.Method(), engine.IndexOptions()
+	s.reg = tenant.NewRegistry(tenant.Config[*temporalir.Engine]{
+		New: func(id string) (*temporalir.Engine, error) {
+			// The seed engine serves the default tenant's first build;
+			// everyone else (and any rebuild) gets a fresh engine.
+			var seeded *temporalir.Engine
+			if id == s.defaultTenant {
+				s.seedUsed.Do(func() { seeded = s.seed })
+			}
+			if seeded != nil {
+				return seeded, nil
+			}
+			return temporalir.NewBuilder().Build(method, idxOpts)
+		},
+		Load: func(id string, r io.Reader) (*temporalir.Engine, error) {
+			return temporalir.LoadEngine(r, method, idxOpts)
+		},
+		MaxActive: opts.MaxTenants,
+		SpillDir:  opts.SpillDir,
+		Limits:    opts.TenantLimits,
+		OnCreate:  s.onTenantCreate,
+	})
 	s.registerMetrics()
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("POST /search/batch", s.handleSearchBatch)
@@ -123,6 +251,13 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /admin/tenants", s.handleTenants)
+
+	// Materialize the default tenant eagerly so the seeded engine is
+	// resident from the first request (and from the first scrape).
+	if tn, err := s.reg.Get(s.defaultTenant); err == nil {
+		tn.Release()
+	}
 	return s
 }
 
@@ -130,9 +265,91 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 // want to toggle tracing or read the registry directly.
 func (s *Server) Obs() *obs.Observer { return s.obs }
 
+// Registry returns the tenant registry, for callers (irserve's
+// graceful drain, tests) that manage tenant lifecycles directly.
+func (s *Server) Registry() *tenant.Registry[*temporalir.Engine] { return s.reg }
+
+// onTenantCreate attaches the tenant's metric handles, within the
+// series budget: the first TenantSeriesLimit distinct tenant ids get
+// dedicated series (plus scrape-time engine gauges); later tenants
+// share the "_other" aggregate. A tenant that is evicted and comes
+// back keeps its budget slot and therefore its counters.
+func (s *Server) onTenantCreate(tn *tenant.Tenant[*temporalir.Engine]) {
+	id := tn.ID()
+	s.smu.Lock()
+	tm := s.series[id]
+	if tm == nil && len(s.series) < s.seriesLimit {
+		tm = s.newTenantMetrics(id, true)
+		s.series[id] = tm
+	}
+	s.smu.Unlock()
+	if tm == nil {
+		tm = s.otherMetrics
+	}
+	tn.SetTag(tm)
+}
+
+// newTenantMetrics resolves one tenant's series handles. withGauges
+// additionally registers the scrape-time engine-state gauges, which
+// read through Registry.Peek so an evicted tenant scrapes as absent
+// rather than through a stale engine pointer.
+func (s *Server) newTenantMetrics(id string, withGauges bool) *tenantMetrics {
+	reg := s.obs.Registry()
+	tl := obs.Label{Key: "tenant", Value: id}
+	method := func(m string) queryMetrics {
+		return queryMetrics{
+			count:   reg.Counter("tir_tenant_queries_total", "Queries served, by tenant and method.", tl, obs.Label{Key: "method", Value: m}),
+			seconds: reg.Histogram("tir_tenant_query_seconds", "Query latency in seconds, by tenant and method.", obs.DefLatencyBuckets(), tl, obs.Label{Key: "method", Value: m}),
+		}
+	}
+	tm := &tenantMetrics{
+		search:   method("search"),
+		topk:     method("search_topk"),
+		batch:    method("search_batch"),
+		timeline: method("timeline"),
+		rejected: make(map[string]*obs.Counter, len(tenant.Reasons)),
+	}
+	for _, reason := range tenant.Reasons {
+		tm.rejected[reason] = reg.Counter("tir_tenant_rejected_total", "Requests rejected by tenant limits, by tenant and reason.", tl, obs.Label{Key: "reason", Value: reason})
+	}
+	if withGauges {
+		peek := func(read func(e *temporalir.Engine) float64) func() float64 {
+			return func() float64 {
+				tn, ok := s.reg.Peek(id)
+				if !ok {
+					return 0
+				}
+				return read(tn.Engine())
+			}
+		}
+		reg.GaugeFunc("tir_tenant_objects", "Live objects, by tenant (0 while evicted).", peek(func(e *temporalir.Engine) float64 {
+			return float64(e.Len())
+		}), tl)
+		reg.GaugeFunc("tir_tenant_size_bytes", "Estimated resident index size, by tenant.", peek(func(e *temporalir.Engine) float64 {
+			return float64(e.SizeBytes())
+		}), tl)
+		reg.GaugeFunc("tir_tenant_memtable_objects", "Memtable objects, by tenant.", peek(func(e *temporalir.Engine) float64 {
+			return float64(e.CompactStats().MemObjects)
+		}), tl)
+		reg.GaugeFunc("tir_tenant_tombstones", "Pending logical deletions, by tenant.", peek(func(e *temporalir.Engine) float64 {
+			return float64(e.CompactStats().Tombstones)
+		}), tl)
+		reg.GaugeFunc("tir_tenant_inflight", "Queries currently admitted, by tenant.", func() float64 {
+			tn, ok := s.reg.Peek(id)
+			if !ok {
+				return 0
+			}
+			return float64(tn.Limiter().InFlight())
+		}, tl)
+	}
+	return tm
+}
+
 // registerMetrics resolves every hot-path metric handle once, and wires
 // the scrape-time engine gauges. Handles are plain pointers; recording
-// into them takes no lock.
+// into them takes no lock. Aggregate engine gauges keep their
+// single-tenant names and sum over resident tenants, so existing
+// dashboards keep working.
 func (s *Server) registerMetrics() {
 	reg := s.obs.Registry()
 	method := func(m string) queryMetrics {
@@ -155,6 +372,10 @@ func (s *Server) registerMetrics() {
 	s.batchSize = reg.Histogram("tir_batch_queries", "Queries per batch request.", obs.DefSizeBuckets())
 	s.inflightG = reg.Gauge("tir_inflight_queries", "Search requests currently holding an admission slot.")
 
+	// The overflow tenant's series exist from startup so the rejection
+	// counter family is present on the first scrape.
+	s.otherMetrics = s.newTenantMetrics(otherTenant, false)
+
 	reg.CounterFunc("tir_slow_queries_total", "Traces admitted to the slow-query log.", func() float64 {
 		return float64(s.obs.Slow().Total())
 	})
@@ -162,94 +383,245 @@ func (s *Server) registerMetrics() {
 	// Engine-state metrics are sampled at scrape time: the underlying
 	// stats are either atomic snapshots or taken under the store's own
 	// short-lived locks, so scraping never touches the query path.
-	eng := s.engine
-	reg.GaugeFunc("tir_engine_objects", "Live (non-tombstoned) objects.", func() float64 {
-		return float64(eng.Len())
-	})
-	reg.GaugeFunc("tir_engine_size_bytes", "Estimated resident index size.", func() float64 {
-		return float64(eng.SizeBytes())
-	})
-	reg.GaugeFunc("tir_memtable_objects", "Objects in the memtable tail.", func() float64 {
-		return float64(eng.CompactStats().MemObjects)
-	})
-	reg.GaugeFunc("tir_memtable_bytes", "Estimated memtable size.", func() float64 {
-		return float64(eng.CompactStats().MemBytes)
-	})
-	reg.GaugeFunc("tir_tombstones", "Pending logical deletions.", func() float64 {
-		return float64(eng.CompactStats().Tombstones)
-	})
-	reg.CounterFunc("tir_compactions_total", "Completed compactions.", func() float64 {
-		return float64(eng.CompactStats().Compactions)
-	})
-	reg.CounterFunc("tir_compaction_seconds_total", "Wall time spent compacting.", func() float64 {
-		return eng.CompactStats().TotalDuration.Seconds()
-	})
-	reg.CounterFunc("tir_compaction_dropped_total", "Tombstoned objects physically dropped by compaction.", func() float64 {
-		return float64(eng.CompactStats().TotalDropped)
-	})
-	reg.CounterFunc("tir_compaction_merged_total", "Memtable objects folded into the base by compaction.", func() float64 {
-		return float64(eng.CompactStats().TotalMerged)
-	})
-	reg.CounterFunc("tir_compaction_reclaimed_bytes_total", "Estimated bytes reclaimed by compaction.", func() float64 {
-		return float64(eng.CompactStats().ReclaimedBytes)
-	})
+	sum := func(read func(e *temporalir.Engine) float64) func() float64 {
+		return func() float64 {
+			var total float64
+			s.reg.Each(func(tn *tenant.Tenant[*temporalir.Engine]) {
+				total += read(tn.Engine())
+			})
+			return total
+		}
+	}
+	reg.GaugeFunc("tir_engine_objects", "Live (non-tombstoned) objects across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.Len())
+	}))
+	reg.GaugeFunc("tir_engine_size_bytes", "Estimated resident index size across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.SizeBytes())
+	}))
+	reg.GaugeFunc("tir_memtable_objects", "Objects in memtable tails across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().MemObjects)
+	}))
+	reg.GaugeFunc("tir_memtable_bytes", "Estimated memtable size across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().MemBytes)
+	}))
+	reg.GaugeFunc("tir_tombstones", "Pending logical deletions across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().Tombstones)
+	}))
+	reg.CounterFunc("tir_compactions_total", "Completed compactions across tenants.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().Compactions)
+	}))
+	reg.CounterFunc("tir_compaction_seconds_total", "Wall time spent compacting.", sum(func(e *temporalir.Engine) float64 {
+		return e.CompactStats().TotalDuration.Seconds()
+	}))
+	reg.CounterFunc("tir_compaction_dropped_total", "Tombstoned objects physically dropped by compaction.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().TotalDropped)
+	}))
+	reg.CounterFunc("tir_compaction_merged_total", "Memtable objects folded into the base by compaction.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().TotalMerged)
+	}))
+	reg.CounterFunc("tir_compaction_reclaimed_bytes_total", "Estimated bytes reclaimed by compaction.", sum(func(e *temporalir.Engine) float64 {
+		return float64(e.CompactStats().ReclaimedBytes)
+	}))
+
+	// The worker pool is shared process-wide (engines fan out over the
+	// same default pool), so its counters come from the seed engine
+	// rather than a sum that would multiply-count the shared pool.
 	reg.CounterFunc("tir_exec_maps_total", "Worker-pool fan-out invocations.", func() float64 {
-		return float64(eng.PoolStats().Maps)
+		return float64(s.seed.PoolStats().Maps)
 	})
 	reg.CounterFunc("tir_exec_items_total", "Work items fanned across the pool.", func() float64 {
-		return float64(eng.PoolStats().Items)
+		return float64(s.seed.PoolStats().Items)
 	})
 	reg.CounterFunc("tir_exec_helpers_total", "Helper goroutines borrowed by fan-outs.", func() float64 {
-		return float64(eng.PoolStats().Helpers)
+		return float64(s.seed.PoolStats().Helpers)
+	})
+
+	// Tenancy lifecycle metrics.
+	reg.GaugeFunc("tir_tenants", "Resident tenants.", func() float64 {
+		return float64(s.reg.Len())
+	})
+	reg.CounterFunc("tir_tenant_evictions_total", "Tenants evicted from the registry.", func() float64 {
+		return float64(s.reg.Evictions())
+	})
+	reg.CounterFunc("tir_tenant_spills_total", "Tenant spill snapshots written.", func() float64 {
+		return float64(s.reg.Spills())
 	})
 
 	// Routed engines expose the adaptive router's decision tally, one
-	// series per sub-method. Non-routed engines register nothing.
-	for i, m := range eng.RoutedMethods() {
+	// series per sub-method, summed across tenants (all tenants run the
+	// same method). Non-routed engines register nothing.
+	for i, m := range s.seed.RoutedMethods() {
 		i := i
-		reg.CounterFunc("tir_route_decisions_total", "Adaptive-router decisions, by chosen sub-method.", func() float64 {
-			return float64(eng.RouteDecisions()[i])
-		}, obs.Label{Key: "method", Value: string(m)})
+		reg.CounterFunc("tir_route_decisions_total", "Adaptive-router decisions, by chosen sub-method.", sum(func(e *temporalir.Engine) float64 {
+			return float64(e.RouteDecisions()[i])
+		}), obs.Label{Key: "method", Value: string(m)})
 	}
 }
 
-// acquire claims an in-flight slot, reporting false when the server is
-// saturated. release must be called iff acquire returned true.
-func (s *Server) acquire() bool {
-	if s.inflight == nil {
-		s.admAccepted.Inc()
-		return true
+// metricsOf returns the tenant's attached series handles.
+func (s *Server) metricsOf(tn *tenant.Tenant[*temporalir.Engine]) *tenantMetrics {
+	if tm, ok := tn.Tag().(*tenantMetrics); ok && tm != nil {
+		return tm
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		s.admAccepted.Inc()
-		s.inflightG.Add(1)
-		return true
-	default:
+	return s.otherMetrics
+}
+
+// rejectedMetricsFor attributes a rejection for a tenant that may not
+// be resident (e.g. the registry refused to admit it).
+func (s *Server) rejectedMetricsFor(id string) *tenantMetrics {
+	s.smu.Lock()
+	tm := s.series[id]
+	s.smu.Unlock()
+	if tm == nil {
+		return s.otherMetrics
+	}
+	return tm
+}
+
+// tenantID extracts the request's tenant identity: the X-Scope-OrgID
+// header, or the configured default.
+func (s *Server) tenantID(r *http.Request) (string, error) {
+	id := r.Header.Get(tenant.Header)
+	if id == "" {
+		if s.requireTenant {
+			return "", fmt.Errorf("missing %s header", tenant.Header)
+		}
+		return s.defaultTenant, nil
+	}
+	if err := tenant.ValidateID(id); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// resolveTenant resolves and holds the request's tenant, writing the
+// error response itself on failure. On success the caller must call
+// Release on the returned tenant.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant.Tenant[*temporalir.Engine], bool) {
+	id, err := s.tenantID(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if s.requireTenant && r.Header.Get(tenant.Header) == "" {
+			status = http.StatusUnauthorized
+		}
+		writeError(w, status, "%v", err)
+		return nil, false
+	}
+	tn, err := s.reg.Get(id)
+	if err != nil {
+		if le := tenant.AsLimitError(err); le != nil {
+			s.rejectedMetricsFor(id).reject(le.Reason)
+			tooManyTenants(w, id)
+			return nil, false
+		}
+		writeError(w, http.StatusInternalServerError, "tenant %s: %v", id, err)
+		return nil, false
+	}
+	return tn, true
+}
+
+// grant is one admitted query request: the held tenant, its metric
+// handles, and the release path for every admission layer claimed.
+type grant struct {
+	srv *Server
+	tn  *tenant.Tenant[*temporalir.Engine]
+	tm  *tenantMetrics
+}
+
+func (g grant) engine() *temporalir.Engine { return g.tn.Engine() }
+
+func (g grant) release() {
+	if g.srv.fair != nil {
+		g.srv.fair.Release(g.tn.ID())
+	}
+	if g.srv.gate != nil {
+		g.srv.gate.Release()
+		g.srv.inflightG.Add(-1)
+	}
+	g.tn.Limiter().ReleaseQuery()
+	g.tn.Release()
+}
+
+// admitQuery runs the full admission stack for one query request,
+// writing the rejection response itself. Order matters and is part of
+// the contract:
+//
+//   - per-tenant limits first: a tenant over its own rate or in-flight
+//     cap gets 429 regardless of how idle the node is;
+//   - the global gate second: if the node is saturated even a
+//     well-behaved tenant gets 503 (load shedding, not a quota);
+//   - fair share last: the node has room, but granting it to this
+//     tenant would let it squeeze siblings out — 429, and the gate
+//     slot claimed one line above is rolled back.
+func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request) (grant, bool) {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return grant{}, false
+	}
+	g := grant{srv: s, tn: tn, tm: s.metricsOf(tn)}
+	now := time.Now()
+	if err := tn.Limiter().AcquireQuery(now); err != nil {
+		le := tenant.AsLimitError(err)
+		g.tm.reject(le.Reason)
+		tooMany(w, le)
+		tn.Release()
+		return grant{}, false
+	}
+	if s.gate != nil && !s.gate.TryAcquire() {
 		s.admRejected.Inc()
-		return false
+		overloaded(w)
+		tn.Limiter().ReleaseQuery()
+		tn.Release()
+		return grant{}, false
 	}
+	if s.fair != nil && !s.fair.Acquire(tn.ID(), tn.Limiter().Limits().EffectiveWeight(), now) {
+		s.gate.Release()
+		g.tm.reject(tenant.ReasonShare)
+		tooMany(w, &tenant.LimitError{Tenant: tn.ID(), Reason: tenant.ReasonShare})
+		tn.Limiter().ReleaseQuery()
+		tn.Release()
+		return grant{}, false
+	}
+	s.admAccepted.Inc()
+	if s.gate != nil {
+		s.inflightG.Add(1)
+	}
+	return g, true
 }
 
-func (s *Server) release() {
-	if s.inflight != nil {
-		<-s.inflight
-		s.inflightG.Add(-1)
-	}
-}
-
-// overloaded answers a request rejected by admission control.
+// overloaded answers a request rejected by the global gate.
 func overloaded(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, "server overloaded; retry shortly")
 }
 
-// queryCtx derives the per-request evaluation context.
-func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.queryTimeout < 0 {
-		return r.Context(), func() {}
+// tooMany answers a request rejected by a per-tenant limit: 429 with a
+// Retry-After hint (the token-bucket wait, or 1s for structural limits
+// that clear when usage drops).
+func tooMany(w http.ResponseWriter, le *tenant.LimitError) {
+	secs := int((le.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
-	return context.WithTimeout(r.Context(), s.queryTimeout)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "%v", le)
+}
+
+// tooManyTenants answers a request whose tenant could not be admitted
+// to the registry at all.
+func tooManyTenants(w http.ResponseWriter, id string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "tenant %s: registry full; retry shortly", id)
+}
+
+// queryCtx derives the per-request evaluation context, carrying the
+// tenant identity and the evaluation deadline.
+func (s *Server) queryCtx(r *http.Request, id string) (context.Context, context.CancelFunc) {
+	ctx := tenant.InjectID(r.Context(), id)
+	if s.queryTimeout < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.queryTimeout)
 }
 
 // searchFailure maps an evaluation error to a response.
@@ -262,11 +634,15 @@ func (s *Server) searchFailure(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, "query aborted: %v", err)
 }
 
-// finishQuery records one served query: the per-method counter and
-// latency histogram, plus the finished trace (offered to the slow log).
-func (s *Server) finishQuery(m queryMetrics, tr *obs.Trace, t0 time.Time) {
+// finishQuery records one served query twice — into the global
+// per-method family and the tenant's own — and offers the finished
+// trace to the slow log.
+func (s *Server) finishQuery(m, tm queryMetrics, tr *obs.Trace, t0 time.Time) {
+	sec := time.Since(t0).Seconds()
 	m.count.Inc()
-	m.seconds.Observe(time.Since(t0).Seconds())
+	m.seconds.Observe(sec)
+	tm.count.Inc()
+	tm.seconds.Observe(sec)
 	s.obs.FinishTrace(tr)
 }
 
@@ -347,21 +723,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if !s.acquire() {
-		overloaded(w)
+	g, ok := s.admitQuery(w, r)
+	if !ok {
 		return
 	}
-	defer s.release()
-	ctx, cancel := s.queryCtx(r)
+	defer g.release()
+	ctx, cancel := s.queryCtx(r, g.tn.ID())
 	defer cancel()
 
 	var hits []searchHit
 	if k > 0 {
 		tr := s.obs.StartTrace("search_topk")
+		tr.SetTenant(g.tn.ID())
 		tr.SetShape(fmt.Sprintf("terms=%d k=%d", len(terms), k))
 		t0 := time.Now()
-		res, err := s.engine.SearchTopKCtx(obs.ContextWithTrace(ctx, tr), start, end, k, terms...)
-		s.finishQuery(s.metTopK, tr, t0)
+		res, err := g.engine().SearchTopKCtx(obs.ContextWithTrace(ctx, tr), start, end, k, terms...)
+		s.finishQuery(s.metTopK, g.tm.topk, tr, t0)
 		if err != nil {
 			s.searchFailure(w, err)
 			return
@@ -372,10 +749,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		tr := s.obs.StartTrace("search")
+		tr.SetTenant(g.tn.ID())
 		tr.SetShape(fmt.Sprintf("terms=%d", len(terms)))
 		t0 := time.Now()
-		ids, err := s.engine.SearchCtx(obs.ContextWithTrace(ctx, tr), start, end, terms...)
-		s.finishQuery(s.metSearch, tr, t0)
+		ids, err := g.engine().SearchCtx(obs.ContextWithTrace(ctx, tr), start, end, terms...)
+		s.finishQuery(s.metSearch, g.tm.search, tr, t0)
 		if err != nil {
 			s.searchFailure(w, err)
 			return
@@ -404,8 +782,9 @@ type batchRow struct {
 }
 
 // handleSearchBatch answers POST /search/batch. The whole batch holds
-// one in-flight slot and one evaluation deadline; rows cut off by the
-// deadline report a per-row error while completed rows still return.
+// one admission grant (one gate slot, one rate-limit token) and one
+// evaluation deadline; rows cut off by the deadline report a per-row
+// error while completed rows still return.
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -428,20 +807,21 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.acquire() {
-		overloaded(w)
+	g, ok := s.admitQuery(w, r)
+	if !ok {
 		return
 	}
-	defer s.release()
-	ctx, cancel := s.queryCtx(r)
+	defer g.release()
+	ctx, cancel := s.queryCtx(r, g.tn.ID())
 	defer cancel()
 
 	tr := s.obs.StartTrace("search_batch")
+	tr.SetTenant(g.tn.ID())
 	tr.SetShape(fmt.Sprintf("queries=%d", len(termRows)))
 	s.batchSize.Observe(float64(len(termRows)))
 	t0 := time.Now()
-	results := s.engine.SearchTermsBatchCtx(obs.ContextWithTrace(ctx, tr), req.Start, req.End, termRows)
-	s.finishQuery(s.metBatch, tr, t0)
+	results := g.engine().SearchTermsBatchCtx(obs.ContextWithTrace(ctx, tr), req.Start, req.End, termRows)
+	s.finishQuery(s.metBatch, g.tm.batch, tr, t0)
 	rows := make([]batchRow, len(results))
 	timedOut := false
 	for i, res := range results {
@@ -458,7 +838,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "results": rows})
 }
 
-// handleInsert answers POST /objects with an objectJSON body (id ignored).
+// handleInsert answers POST /objects with an objectJSON body (id
+// ignored). Inserts are not rate-limited, but they are the enforcement
+// point of the tenant's memtable and size quotas: an over-quota tenant
+// gets 429 until compaction (or deletion) makes room, while sibling
+// tenants are untouched.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var in objectJSON
 	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
@@ -477,12 +861,24 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no indexable terms")
 		return
 	}
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	defer tn.Release()
+	eng := tn.Engine()
+	if err := tn.Limiter().CheckIngest(eng.CompactStats().MemObjects, eng.SizeBytes()); err != nil {
+		le := tenant.AsLimitError(err)
+		s.metricsOf(tn).reject(le.Reason)
+		tooMany(w, le)
+		return
+	}
 	// No server-level lock: Insert serializes on the engine's dictionary
 	// and store mutexes, and RefreshScorer publishes a new generation
 	// atomically. Two concurrent inserts interleave their scorer
 	// refreshes last-write-wins, which both leave consistent.
-	id := s.engine.Insert(in.Start, in.End, terms...)
-	s.engine.RefreshScorer()
+	id := eng.Insert(in.Start, in.End, terms...)
+	eng.RefreshScorer()
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
 }
 
@@ -493,7 +889,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	iv, terms, err := s.engine.Object(id)
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	defer tn.Release()
+	iv, terms, err := tn.Engine().Object(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -508,7 +909,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.engine.Delete(id); err != nil {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	defer tn.Release()
+	if err := tn.Engine().Delete(id); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -518,8 +924,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // handleTimeline answers GET /timeline?start=S&end=E&q=TERMS&buckets=N:
 // a temporal histogram of the matching objects. Timelines scan every
 // match, so the endpoint sits behind the same admission control and
-// deadline as /search — it previously bypassed both, letting histogram
-// traffic evade the in-flight cap entirely.
+// deadline as /search.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	start, end, terms, ok := parseQueryRange(w, r)
 	if !ok {
@@ -534,19 +939,20 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.acquire() {
-		overloaded(w)
+	g, ok := s.admitQuery(w, r)
+	if !ok {
 		return
 	}
-	defer s.release()
-	ctx, cancel := s.queryCtx(r)
+	defer g.release()
+	ctx, cancel := s.queryCtx(r, g.tn.ID())
 	defer cancel()
 
 	tr := s.obs.StartTrace("timeline")
+	tr.SetTenant(g.tn.ID())
 	tr.SetShape(fmt.Sprintf("terms=%d buckets=%d", len(terms), buckets))
 	t0 := time.Now()
-	tl, err := s.engine.TimelineCtx(obs.ContextWithTrace(ctx, tr), start, end, buckets, terms...)
-	s.finishQuery(s.metTimeline, tr, t0)
+	tl, err := g.engine().TimelineCtx(obs.ContextWithTrace(ctx, tr), start, end, buckets, terms...)
+	s.finishQuery(s.metTimeline, g.tm.timeline, tr, t0)
 	if err != nil {
 		s.searchFailure(w, err)
 		return
@@ -554,15 +960,64 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"buckets": tl})
 }
 
-// handleStats answers GET /stats, including the generational compaction
-// state (epoch, memtable, tombstones, compaction history).
+// handleStats answers GET /stats for the request's tenant, including
+// the generational compaction state and the tenant's admission view
+// (limits, in-flight, current fair share).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	defer tn.Release()
+	eng := tn.Engine()
+	out := map[string]any{
+		"method":     string(eng.Method()),
+		"objects":    eng.Len(),
+		"size_bytes": eng.SizeBytes(),
+		"compaction": eng.CompactStats(),
+		"pool":       eng.PoolStats(),
+		"tenant":     tn.ID(),
+		"tenants":    s.reg.Len(),
+		"limits":     tn.Limiter().Limits(),
+		"inflight":   tn.Limiter().InFlight(),
+	}
+	if s.fair != nil {
+		out["fair_share"] = s.fair.Share(tn.ID(), tn.Limiter().Limits().EffectiveWeight(), time.Now())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTenants answers GET /admin/tenants: the resident tenant set
+// with per-tenant engine and admission state.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID         string `json:"id"`
+		Objects    int    `json:"objects"`
+		SizeBytes  int64  `json:"size_bytes"`
+		MemObjects int    `json:"memtable_objects"`
+		Tombstones int    `json:"tombstones"`
+		InFlight   int    `json:"inflight"`
+		Weight     int    `json:"weight"`
+	}
+	var rows []row
+	s.reg.Each(func(tn *tenant.Tenant[*temporalir.Engine]) {
+		eng := tn.Engine()
+		st := eng.CompactStats()
+		rows = append(rows, row{
+			ID:         tn.ID(),
+			Objects:    eng.Len(),
+			SizeBytes:  eng.SizeBytes(),
+			MemObjects: st.MemObjects,
+			Tombstones: st.Tombstones,
+			InFlight:   tn.Limiter().InFlight(),
+			Weight:     tn.Limiter().Limits().EffectiveWeight(),
+		})
+	})
 	writeJSON(w, http.StatusOK, map[string]any{
-		"method":     string(s.engine.Method()),
-		"objects":    s.engine.Len(),
-		"size_bytes": s.engine.SizeBytes(),
-		"compaction": s.engine.CompactStats(),
-		"pool":       s.engine.PoolStats(),
+		"tenants":   rows,
+		"resident":  s.reg.Len(),
+		"evictions": s.reg.Evictions(),
+		"spills":    s.reg.Spills(),
 	})
 }
 
@@ -584,16 +1039,21 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCompact answers POST /admin/compact: it runs a synchronous
-// compaction and returns the resulting stats. A compaction already in
-// flight answers 409 with the current stats; the request context bounds
-// the rebuild (a canceled request leaves the old generation intact).
-// Searches keep running against the previous generation throughout, so
-// the endpoint never degrades read availability. The request context
-// carries a trace, so compaction phases land in the slow log like any
-// other slow operation.
+// compaction of the request tenant's engine and returns the resulting
+// stats. A compaction already in flight answers 409 with the current
+// stats; the request context bounds the rebuild (a canceled request
+// leaves the old generation intact). Searches keep running against the
+// previous generation throughout, so the endpoint never degrades read
+// availability.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	defer tn.Release()
 	tr := s.obs.StartTrace("compact")
-	st, err := s.engine.Compact(obs.ContextWithTrace(r.Context(), tr))
+	tr.SetTenant(tn.ID())
+	st, err := tn.Engine().Compact(obs.ContextWithTrace(r.Context(), tr))
 	s.obs.FinishTrace(tr)
 	switch {
 	case errors.Is(err, temporalir.ErrCompactionRunning):

@@ -6,27 +6,37 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/dict"
 	"repro/internal/encoding"
 )
 
-// Engine persistence: a dictionary section followed by the compact
-// collection encoding of internal/encoding. Logical deletions are folded
-// in at save time (tombstoned objects are not written), and object ids
-// are re-assigned densely on load — persist any external id mapping
-// separately if object identity must survive a round trip.
+// Engine persistence: a dictionary section, the compact collection
+// encoding of internal/encoding, and (since version 2) the external-id
+// identity section. Logical deletions are folded in at save time
+// (tombstoned objects are not written). Version 2 snapshots preserve
+// object identity across a round trip: every live object's stable
+// external id and the store's next-id counter are serialized, so ids
+// handed out before a Save stay valid after a Load and new inserts
+// continue the same id sequence — an engine that is saved, dropped and
+// reloaded is indistinguishable to clients. Version 1 snapshots (which
+// re-assigned dense ids on load) are still accepted.
 
 var engineMagic = [4]byte{'T', 'I', 'R', 'E'}
 
-const engineVersion = 1
+const (
+	engineVersion   = 2
+	engineVersionV1 = 1
+)
 
-// Save writes the engine's live objects and dictionary. The index itself
-// is not serialized — it is rebuilt on load, which is both simpler and,
-// for every method in the family, fast relative to I/O. The snapshot is
-// consistent: it serializes one generation (base objects, memtable and
-// tombstones as of a single atomic load), so concurrent inserts, deletes
-// and compactions never tear it.
+// Save writes the engine's live objects, dictionary and id-identity
+// section. The index itself is not serialized — it is rebuilt on load,
+// which is both simpler and, for every method in the family, fast
+// relative to I/O. The snapshot is consistent: it serializes one
+// generation (base objects, memtable, tombstones and the id table as of
+// a single atomic load), so concurrent inserts, deletes and compactions
+// never tear it.
 func (e *Engine) Save(w io.Writer) error {
 	g := e.snapshot()
 	// The dictionary only grows and every element id in g was interned
@@ -61,11 +71,13 @@ func (e *Engine) Save(w io.Writer) error {
 	}
 	coll := g.Coll()
 	live := &Collection{DictSize: coll.DictSize}
+	ext := make([]ObjectID, 0, len(coll.Objects))
 	for i := range coll.Objects {
 		if g.Tombstoned(ObjectID(i)) {
 			continue
 		}
 		o := &coll.Objects[i]
+		ext = append(ext, g.ExternalID(ObjectID(i)))
 		live.Objects = append(live.Objects, Object{
 			ID:       ObjectID(len(live.Objects)),
 			Interval: o.Interval,
@@ -75,11 +87,30 @@ func (e *Engine) Save(w io.Writer) error {
 	if err := encoding.Write(bw, live); err != nil {
 		return err
 	}
+	// Identity section: one external id per object, in the order the
+	// objects were just encoded (encoding.Write permutes by interval
+	// start; encoding.Order is that permutation, so the table stays
+	// parallel to the collection as read back). The count is written
+	// again as a consistency check, then the next id the store will
+	// assign — exactly, not max+1, so tail deletions never cause id
+	// reuse after a reload.
+	if err := putUvarint(uint64(len(ext))); err != nil {
+		return err
+	}
+	for _, oi := range encoding.Order(live) {
+		if err := putUvarint(uint64(ext[oi])); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(g.NextExt())); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
 // LoadEngine reads a snapshot written by Save and rebuilds the requested
-// index over it.
+// index over it. Version-2 snapshots restore the saved external-id
+// assignment; version-1 snapshots fall back to dense identity ids.
 func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
@@ -93,7 +124,7 @@ func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != engineVersion {
+	if ver != engineVersion && ver != engineVersionV1 {
 		return nil, fmt.Errorf("temporalir: unsupported snapshot version %d", ver)
 	}
 	nTerms, err := binary.ReadUvarint(br)
@@ -128,5 +159,65 @@ func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
 	for i := range coll.Objects {
 		d.AddElems(coll.Objects[i].Elems)
 	}
-	return newEngine(d, coll, m, opts)
+	if ver == engineVersionV1 {
+		return newEngine(d, coll, m, opts)
+	}
+	ext, next, err := readIdentity(br, len(coll.Objects))
+	if err != nil {
+		return nil, err
+	}
+	// Restore the original internal order. The collection was written
+	// start-sorted; re-sorting by external id (strictly ascending in the
+	// original store, i.e. insertion order) reconstructs it and yields
+	// the ascending table the generational store requires.
+	ord := make([]int, len(ext))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return ext[ord[a]] < ext[ord[b]] })
+	objs := make([]Object, len(ord))
+	sorted := make([]ObjectID, len(ord))
+	for i, oi := range ord {
+		o := coll.Objects[oi]
+		o.ID = ObjectID(i)
+		objs[i] = o
+		sorted[i] = ext[oi]
+		if i > 0 && sorted[i] <= sorted[i-1] {
+			return nil, fmt.Errorf("temporalir: duplicate external id %d in identity table", sorted[i])
+		}
+	}
+	if n := len(sorted); n > 0 && sorted[n-1] >= next {
+		return nil, fmt.Errorf("temporalir: next id %d not past last external id %d", next, sorted[n-1])
+	}
+	coll.Objects = objs
+	return newEngineWithIdentity(d, coll, m, opts, sorted, next)
+}
+
+// readIdentity decodes the version-2 identity section: one external id
+// per object in written order, then the next-id counter. Ordering and
+// uniqueness are validated by the caller after re-sorting.
+func readIdentity(br *bufio.Reader, objects int) ([]ObjectID, ObjectID, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("temporalir: identity count: %w", err)
+	}
+	if n != uint64(objects) {
+		return nil, 0, fmt.Errorf("temporalir: identity table covers %d objects, collection has %d", n, objects)
+	}
+	ext := make([]ObjectID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("temporalir: identity entry %d: %w", i, err)
+		}
+		if v > 1<<32-1 {
+			return nil, 0, fmt.Errorf("temporalir: identity entry %d overflows id space", i)
+		}
+		ext = append(ext, ObjectID(v))
+	}
+	rawNext, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("temporalir: next id: %w", err)
+	}
+	return ext, ObjectID(rawNext), nil
 }
