@@ -48,6 +48,8 @@ bench:
 	$(GO) run ./cmd/benchdiff -old BENCH_pr7.json -new BENCH_pr8.json
 	$(GO) run ./cmd/irbench -exp tenantjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr9.json
 	$(GO) run ./cmd/benchdiff -old BENCH_pr8.json -new BENCH_pr9.json
+	$(GO) run ./cmd/irbench -exp shardjson -scale 0.02 -queries 300 -seed 42 -json BENCH_pr10.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr9.json -new BENCH_pr10.json
 
 # Re-measure the hot-path allocation budgets (BENCH_BUDGET.json), then
 # re-run the gate against the fresh numbers. -p 1 keeps the in-process

@@ -21,11 +21,14 @@ type Index interface {
 	Query(q model.Query) []model.ObjectID
 }
 
-// Histogram partitions the query interval into n equal buckets and, for
-// every object matching the time-travel IR query, accumulates per bucket
-// the overlap count and the overlapped duration mass. The final bucket
-// absorbs the division remainder.
-func Histogram(ix Index, c *model.Collection, q model.Query, n int) []Bucket {
+// Layout returns the empty bucket partition Histogram fills in: n equal
+// buckets over the query interval (the final bucket absorbs the
+// division remainder; n shrinks to the interval's duration when it is
+// shorter than n time points). The layout depends only on (q.Interval,
+// n), which is what lets a sharded engine sum per-shard histograms
+// bucket-by-bucket: every shard — and the merged result — shares this
+// exact partition. Returns nil when n or the interval is degenerate.
+func Layout(q model.Query, n int) []Bucket {
 	if n <= 0 || !q.Interval.Valid() {
 		return nil
 	}
@@ -45,6 +48,20 @@ func Histogram(ix Index, c *model.Collection, q model.Query, n int) []Bucket {
 		}
 		buckets[i].Span = model.NewInterval(lo, hi)
 	}
+	return buckets
+}
+
+// Histogram partitions the query interval into n equal buckets and, for
+// every object matching the time-travel IR query, accumulates per bucket
+// the overlap count and the overlapped duration mass. The final bucket
+// absorbs the division remainder.
+func Histogram(ix Index, c *model.Collection, q model.Query, n int) []Bucket {
+	buckets := Layout(q, n)
+	if buckets == nil {
+		return nil
+	}
+	n = len(buckets)
+	width := int64(buckets[0].Span.Duration())
 	ids := ix.Query(q)
 	for _, id := range ids {
 		o := &c.Objects[id]

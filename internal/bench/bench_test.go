@@ -27,8 +27,8 @@ func TestConfigNormalize(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(exps))
 	}
 	for _, e := range exps {
 		if e.Run == nil || e.Name == "" || e.Title == "" {

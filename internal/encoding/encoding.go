@@ -27,6 +27,23 @@ var magic = [4]byte{'T', 'I', 'R', 'C'}
 
 const version = 1
 
+// maxPrealloc caps slice preallocations driven by unvalidated varints
+// in the header. A corrupt or adversarial file can claim any count; by
+// capping the hint and growing through append, memory stays
+// proportional to the bytes actually read instead of the bytes claimed,
+// so a flipped header byte cannot commit a multi-GB allocation before
+// the first object even decodes. Spill/reload paths feed
+// operator-controlled files through Read, which makes this load-bearing.
+const maxPrealloc = 1 << 16
+
+// cappedCap bounds a claimed element count to the preallocation cap.
+func cappedCap(claimed uint64) int {
+	if claimed > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(claimed)
+}
+
 // Order returns the permutation Write applies: object indices in the
 // order they are written (sorted by interval start). Callers that
 // serialize per-object sidecar data next to a collection use it to
@@ -120,7 +137,7 @@ func Read(r io.Reader) (*model.Collection, error) {
 		return nil, fmt.Errorf("encoding: count: %w", err)
 	}
 	c := &model.Collection{DictSize: int(dictSize)}
-	c.Objects = make([]model.Object, 0, count)
+	c.Objects = make([]model.Object, 0, cappedCap(count))
 	prevStart := int64(0)
 	for i := uint64(0); i < count; i++ {
 		dStart, err := binary.ReadVarint(br)
@@ -145,9 +162,15 @@ func Read(r io.Reader) (*model.Collection, error) {
 		if err != nil {
 			return nil, fmt.Errorf("encoding: object %d nElems: %w", i, err)
 		}
-		elems := make([]model.ElemID, n)
+		// Elements are gap-encoded ascending ids below dictSize, so no
+		// valid object can carry more of them than the dictionary holds —
+		// reject before allocating rather than after reading.
+		if n > dictSize {
+			return nil, fmt.Errorf("encoding: object %d claims %d elements, dictionary has %d", i, n, dictSize)
+		}
+		elems := make([]model.ElemID, 0, cappedCap(n))
 		prev := uint64(0)
-		for k := range elems {
+		for k := uint64(0); k < n; k++ {
 			gap, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("encoding: object %d elem %d: %w", i, k, err)
@@ -156,7 +179,7 @@ func Read(r io.Reader) (*model.Collection, error) {
 			if prev >= dictSize {
 				return nil, fmt.Errorf("encoding: object %d elem %d out of dictionary", i, k)
 			}
-			elems[k] = model.ElemID(prev)
+			elems = append(elems, model.ElemID(prev))
 		}
 		c.Objects = append(c.Objects, model.Object{
 			ID:       model.ObjectID(i),

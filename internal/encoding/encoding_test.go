@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
@@ -143,6 +144,35 @@ func TestRandomCorruptionNeverPanics(t *testing.T) {
 				t.Fatalf("trial %d: invalid interval decoded", trial)
 			}
 		}
+	}
+}
+
+// TestHugeClaimedCounts feeds headers whose varint counts claim
+// absurd sizes with no bytes behind them: decoding must fail from the
+// missing data, not commit a giant preallocation first. Run with a
+// memory limit this is the difference between an error and an OOM kill.
+func TestHugeClaimedCounts(t *testing.T) {
+	putUv := func(b []byte, v uint64) []byte {
+		var tmp [10]byte
+		n := binary.PutUvarint(tmp[:], v)
+		return append(b, tmp[:n]...)
+	}
+	// Header claiming 2^60 objects, then EOF.
+	hdr := append([]byte("TIRC"), version)
+	hdr = putUv(hdr, 8)     // dictSize
+	hdr = putUv(hdr, 1<<60) // count
+	if _, err := Read(bytes.NewReader(hdr)); err == nil {
+		t.Error("2^60-object header accepted")
+	}
+
+	// One object claiming more elements than the dictionary holds.
+	hdr = append([]byte("TIRC"), version)
+	hdr = putUv(hdr, 8) // dictSize
+	hdr = putUv(hdr, 1) // count
+	hdr = append(hdr, 2, 2)
+	hdr = putUv(hdr, 1<<50) // nElems far past dictSize
+	if _, err := Read(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "elements") {
+		t.Errorf("oversized nElems error = %v", err)
 	}
 }
 

@@ -67,6 +67,12 @@ type Store struct {
 	// build rebuilds the configured index method during compaction.
 	build BuildFunc
 
+	// alloc, when non-nil, is the shared external-id sequence of a
+	// sharded engine; Append draws from it instead of nextExt. The
+	// allocator is internally atomic, but draws happen under mu so the
+	// per-store ext table stays strictly ascending.
+	alloc *IDAllocator
+
 	// compacting is the single-flight latch for compaction; it is CASed
 	// outside mu so manual Compact never blocks behind writers.
 	compacting atomic.Bool
@@ -105,6 +111,33 @@ type Store struct {
 	reclaimedBytes int64
 }
 
+// IDAllocator hands out external object ids from a single monotonic
+// sequence. Stores sharing one allocator (the shards of a sharded
+// engine) assign globally unique, insertion-ordered ids, so a sharded
+// corpus carries exactly the ids a single store over the same inserts
+// would have handed out — the property the shard-vs-oracle differential
+// relies on.
+type IDAllocator struct {
+	next atomic.Uint64
+}
+
+// NewIDAllocator returns an allocator whose next id is next.
+func NewIDAllocator(next model.ObjectID) *IDAllocator {
+	a := &IDAllocator{}
+	a.next.Store(uint64(next))
+	return a
+}
+
+// take returns the next id and advances the sequence.
+func (a *IDAllocator) take() model.ObjectID {
+	return model.ObjectID(a.next.Add(1) - 1)
+}
+
+// Next returns the id the next take would hand out.
+func (a *IDAllocator) Next() model.ObjectID {
+	return model.ObjectID(a.next.Load())
+}
+
 // NewStore wraps an already-built base index and its collection in a
 // generational store. The store takes ownership of coll's object slice;
 // external ids start out identical to the dense internal ids.
@@ -125,6 +158,22 @@ func NewStore(coll *model.Collection, base Index, build BuildFunc) *Store {
 // the saved store would have, so an engine that is saved, dropped and
 // reloaded is indistinguishable to clients holding object ids.
 func NewStoreWithIdentity(coll *model.Collection, base Index, build BuildFunc, ext []model.ObjectID, next model.ObjectID) *Store {
+	return newStore(coll, base, build, ext, next, nil)
+}
+
+// NewStoreShared is NewStoreWithIdentity for one shard of a sharded
+// engine: external ids come from the shared allocator instead of the
+// store's own counter, so sibling stores never collide. ext must be a
+// strictly ascending subsequence of the ids the allocator has already
+// handed out.
+func NewStoreShared(coll *model.Collection, base Index, build BuildFunc, ext []model.ObjectID, alloc *IDAllocator) *Store {
+	if alloc == nil {
+		panic("maint: NewStoreShared needs an allocator") // lint:panic-ok construction-time programming error
+	}
+	return newStore(coll, base, build, ext, alloc.Next(), alloc)
+}
+
+func newStore(coll *model.Collection, base Index, build BuildFunc, ext []model.ObjectID, next model.ObjectID, alloc *IDAllocator) *Store {
 	n := len(coll.Objects)
 	if len(ext) != n {
 		panic("maint: identity table length mismatch") // lint:panic-ok construction-time programming error
@@ -139,6 +188,7 @@ func NewStoreWithIdentity(coll *model.Collection, base Index, build BuildFunc, e
 	}
 	s := &Store{
 		build:      build,
+		alloc:      alloc,
 		objects:    coll.Objects,
 		ext:        ext,
 		compactLen: n,
@@ -173,8 +223,14 @@ func (s *Store) publish(g *Generation) {
 func (s *Store) Append(iv model.Interval, elems []model.ElemID, dictSize int) model.ObjectID {
 	s.mu.Lock()
 	internal := model.ObjectID(len(s.objects))
-	extID := s.nextExt
-	s.nextExt++
+	var extID model.ObjectID
+	if s.alloc != nil {
+		extID = s.alloc.take()
+		s.nextExt = extID + 1
+	} else {
+		extID = s.nextExt
+		s.nextExt++
+	}
 	o := model.Object{ID: internal, Interval: iv, Elems: elems}
 	s.objects = append(s.objects, o)
 	s.ext = append(s.ext, extID)

@@ -41,6 +41,13 @@ const (
 	// StageCompactSwap is compaction phase 2: the brief locked state
 	// swap.
 	StageCompactSwap
+	// StageScatter is the sharded coordinator's fan-out: planning the
+	// shard set and running the per-shard sub-queries (it envelopes each
+	// shard's inner stages).
+	StageScatter
+	// StageMerge is the sharded coordinator's gather: k-way merging the
+	// per-shard id lists, re-ranking top-k, or summing timeline buckets.
+	StageMerge
 
 	// NumStages bounds the per-trace accumulator arrays.
 	NumStages
@@ -48,7 +55,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"plan", "postings", "intersect", "filter", "rank", "agg", "sort",
-	"compact_copy", "compact_build", "compact_swap",
+	"compact_copy", "compact_build", "compact_swap", "scatter", "merge",
 }
 
 // String returns the stable lowercase stage label used in metrics and

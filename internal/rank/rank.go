@@ -34,17 +34,25 @@ type ScorerConfig struct {
 // NewScorer precomputes IDF weights from the collection's element
 // frequencies: idf(e) = ln(1 + N/df(e)).
 func NewScorer(c *model.Collection, cfg ScorerConfig) *Scorer {
+	return NewScorerFromFreqs(c.ElemFreqs(), c.Len(), cfg)
+}
+
+// NewScorerFromFreqs is NewScorer over explicit corpus statistics: per-
+// element document frequencies and the live-object count. A sharded
+// engine sums its shards' frequencies and lengths and builds ONE global
+// scorer from them, so per-shard top-k scores are comparable — and
+// bit-identical — to the single-engine oracle's.
+func NewScorerFromFreqs(freqs []int, n int, cfg ScorerConfig) *Scorer {
 	if cfg.TemporalWeight <= 0 || cfg.TemporalWeight > 1 {
 		cfg.TemporalWeight = 0.3
 	}
 	if cfg.DisableTemporal {
 		cfg.TemporalWeight = 0
 	}
-	freqs := c.ElemFreqs()
-	s := &Scorer{idf: make([]float64, len(freqs)), n: c.Len(), temporalWeight: cfg.TemporalWeight}
+	s := &Scorer{idf: make([]float64, len(freqs)), n: n, temporalWeight: cfg.TemporalWeight}
 	for e, f := range freqs {
 		if f > 0 {
-			s.idf[e] = math.Log1p(float64(s.n) / float64(f))
+			s.idf[e] = math.Log1p(float64(n) / float64(f))
 		}
 	}
 	return s

@@ -135,7 +135,7 @@ func (tm *tenantMetrics) reject(reason string) {
 // immutable generation snapshot and run entirely against it, and
 // engine writes serialize internally on the store's writer mutex.
 type Server struct {
-	reg *tenant.Registry[*temporalir.Engine]
+	reg *tenant.Registry[Engine]
 	mux *http.ServeMux
 	obs *obs.Observer
 	// queryTimeout, gate, fair and tenancy settings are immutable after
@@ -149,11 +149,14 @@ type Server struct {
 	fair          *tenant.FairShare
 	defaultTenant string
 	requireTenant bool
+	// spillEnabled records whether evictions can free registry slots,
+	// which is what makes a short registry-full retry hint honest.
+	spillEnabled bool
 
 	// seed is the engine the server was constructed around; it defines
-	// the method/options every tenant engine is built with and serves
-	// the default tenant.
-	seed *temporalir.Engine
+	// the method/options — and, for a sharded seed, the shard layout —
+	// every tenant engine is built with, and serves the default tenant.
+	seed Engine
 	// seedUsed makes the seed single-use in the registry New closure.
 	seedUsed sync.Once
 
@@ -180,7 +183,7 @@ type Server struct {
 // New wraps an engine with default admission control and tenancy. The
 // engine serves the default tenant and must not be mutated elsewhere
 // while the server is live.
-func New(engine *temporalir.Engine) *Server {
+func New(engine Engine) *Server {
 	return NewWithOptions(engine, Options{})
 }
 
@@ -188,7 +191,7 @@ func New(engine *temporalir.Engine) *Server {
 // tenancy and observability settings. The engine becomes the default
 // tenant's engine; additional tenants get fresh engines with the same
 // method and index options.
-func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
+func NewWithOptions(engine Engine, opts Options) *Server {
 	if opts.QueryTimeout == 0 {
 		opts.QueryTimeout = DefaultQueryTimeout
 	}
@@ -210,6 +213,7 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 		queryTimeout:  opts.QueryTimeout,
 		defaultTenant: opts.DefaultTenant,
 		requireTenant: opts.RequireTenant,
+		spillEnabled:  opts.SpillDir != "",
 		seed:          engine,
 		series:        make(map[string]*tenantMetrics),
 		seriesLimit:   opts.TenantSeriesLimit,
@@ -218,22 +222,35 @@ func NewWithOptions(engine *temporalir.Engine, opts Options) *Server {
 		s.gate = exec.NewGate(opts.MaxInFlight)
 		s.fair = tenant.NewFairShare(opts.MaxInFlight, opts.FairWindow)
 	}
+	// Sibling construction follows the seed's kind: a sharded seed makes
+	// every tenant (and every spill reload) a sharded engine with the
+	// seed's resolved shard layout; a plain seed keeps the existing
+	// single-store path byte-for-byte. The snapshot format is shared, so
+	// spills written by one kind load under the other if the deployment
+	// is ever reconfigured.
 	method, idxOpts := engine.Method(), engine.IndexOptions()
-	s.reg = tenant.NewRegistry(tenant.Config[*temporalir.Engine]{
-		New: func(id string) (*temporalir.Engine, error) {
+	newSibling := func() (Engine, error) { return temporalir.NewBuilder().Build(method, idxOpts) }
+	loadSibling := func(r io.Reader) (Engine, error) { return temporalir.LoadEngine(r, method, idxOpts) }
+	if sh, ok := engine.(*temporalir.Sharded); ok {
+		so := sh.ShardOptions()
+		newSibling = func() (Engine, error) { return temporalir.NewSharded(method, idxOpts, so) }
+		loadSibling = func(r io.Reader) (Engine, error) { return temporalir.LoadSharded(r, method, idxOpts, so) }
+	}
+	s.reg = tenant.NewRegistry(tenant.Config[Engine]{
+		New: func(id string) (Engine, error) {
 			// The seed engine serves the default tenant's first build;
 			// everyone else (and any rebuild) gets a fresh engine.
-			var seeded *temporalir.Engine
+			var seeded Engine
 			if id == s.defaultTenant {
 				s.seedUsed.Do(func() { seeded = s.seed })
 			}
 			if seeded != nil {
 				return seeded, nil
 			}
-			return temporalir.NewBuilder().Build(method, idxOpts)
+			return newSibling()
 		},
-		Load: func(id string, r io.Reader) (*temporalir.Engine, error) {
-			return temporalir.LoadEngine(r, method, idxOpts)
+		Load: func(id string, r io.Reader) (Engine, error) {
+			return loadSibling(r)
 		},
 		MaxActive: opts.MaxTenants,
 		SpillDir:  opts.SpillDir,
@@ -267,14 +284,14 @@ func (s *Server) Obs() *obs.Observer { return s.obs }
 
 // Registry returns the tenant registry, for callers (irserve's
 // graceful drain, tests) that manage tenant lifecycles directly.
-func (s *Server) Registry() *tenant.Registry[*temporalir.Engine] { return s.reg }
+func (s *Server) Registry() *tenant.Registry[Engine] { return s.reg }
 
 // onTenantCreate attaches the tenant's metric handles, within the
 // series budget: the first TenantSeriesLimit distinct tenant ids get
 // dedicated series (plus scrape-time engine gauges); later tenants
 // share the "_other" aggregate. A tenant that is evicted and comes
 // back keeps its budget slot and therefore its counters.
-func (s *Server) onTenantCreate(tn *tenant.Tenant[*temporalir.Engine]) {
+func (s *Server) onTenantCreate(tn *tenant.Tenant[Engine]) {
 	id := tn.ID()
 	s.smu.Lock()
 	tm := s.series[id]
@@ -313,7 +330,7 @@ func (s *Server) newTenantMetrics(id string, withGauges bool) *tenantMetrics {
 		tm.rejected[reason] = reg.Counter("tir_tenant_rejected_total", "Requests rejected by tenant limits, by tenant and reason.", tl, obs.Label{Key: "reason", Value: reason})
 	}
 	if withGauges {
-		peek := func(read func(e *temporalir.Engine) float64) func() float64 {
+		peek := func(read func(e Engine) float64) func() float64 {
 			return func() float64 {
 				tn, ok := s.reg.Peek(id)
 				if !ok {
@@ -322,16 +339,16 @@ func (s *Server) newTenantMetrics(id string, withGauges bool) *tenantMetrics {
 				return read(tn.Engine())
 			}
 		}
-		reg.GaugeFunc("tir_tenant_objects", "Live objects, by tenant (0 while evicted).", peek(func(e *temporalir.Engine) float64 {
+		reg.GaugeFunc("tir_tenant_objects", "Live objects, by tenant (0 while evicted).", peek(func(e Engine) float64 {
 			return float64(e.Len())
 		}), tl)
-		reg.GaugeFunc("tir_tenant_size_bytes", "Estimated resident index size, by tenant.", peek(func(e *temporalir.Engine) float64 {
+		reg.GaugeFunc("tir_tenant_size_bytes", "Estimated resident index size, by tenant.", peek(func(e Engine) float64 {
 			return float64(e.SizeBytes())
 		}), tl)
-		reg.GaugeFunc("tir_tenant_memtable_objects", "Memtable objects, by tenant.", peek(func(e *temporalir.Engine) float64 {
+		reg.GaugeFunc("tir_tenant_memtable_objects", "Memtable objects, by tenant.", peek(func(e Engine) float64 {
 			return float64(e.CompactStats().MemObjects)
 		}), tl)
-		reg.GaugeFunc("tir_tenant_tombstones", "Pending logical deletions, by tenant.", peek(func(e *temporalir.Engine) float64 {
+		reg.GaugeFunc("tir_tenant_tombstones", "Pending logical deletions, by tenant.", peek(func(e Engine) float64 {
 			return float64(e.CompactStats().Tombstones)
 		}), tl)
 		reg.GaugeFunc("tir_tenant_inflight", "Queries currently admitted, by tenant.", func() float64 {
@@ -383,43 +400,43 @@ func (s *Server) registerMetrics() {
 	// Engine-state metrics are sampled at scrape time: the underlying
 	// stats are either atomic snapshots or taken under the store's own
 	// short-lived locks, so scraping never touches the query path.
-	sum := func(read func(e *temporalir.Engine) float64) func() float64 {
+	sum := func(read func(e Engine) float64) func() float64 {
 		return func() float64 {
 			var total float64
-			s.reg.Each(func(tn *tenant.Tenant[*temporalir.Engine]) {
+			s.reg.Each(func(tn *tenant.Tenant[Engine]) {
 				total += read(tn.Engine())
 			})
 			return total
 		}
 	}
-	reg.GaugeFunc("tir_engine_objects", "Live (non-tombstoned) objects across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.GaugeFunc("tir_engine_objects", "Live (non-tombstoned) objects across tenants.", sum(func(e Engine) float64 {
 		return float64(e.Len())
 	}))
-	reg.GaugeFunc("tir_engine_size_bytes", "Estimated resident index size across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.GaugeFunc("tir_engine_size_bytes", "Estimated resident index size across tenants.", sum(func(e Engine) float64 {
 		return float64(e.SizeBytes())
 	}))
-	reg.GaugeFunc("tir_memtable_objects", "Objects in memtable tails across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.GaugeFunc("tir_memtable_objects", "Objects in memtable tails across tenants.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().MemObjects)
 	}))
-	reg.GaugeFunc("tir_memtable_bytes", "Estimated memtable size across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.GaugeFunc("tir_memtable_bytes", "Estimated memtable size across tenants.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().MemBytes)
 	}))
-	reg.GaugeFunc("tir_tombstones", "Pending logical deletions across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.GaugeFunc("tir_tombstones", "Pending logical deletions across tenants.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().Tombstones)
 	}))
-	reg.CounterFunc("tir_compactions_total", "Completed compactions across tenants.", sum(func(e *temporalir.Engine) float64 {
+	reg.CounterFunc("tir_compactions_total", "Completed compactions across tenants.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().Compactions)
 	}))
-	reg.CounterFunc("tir_compaction_seconds_total", "Wall time spent compacting.", sum(func(e *temporalir.Engine) float64 {
+	reg.CounterFunc("tir_compaction_seconds_total", "Wall time spent compacting.", sum(func(e Engine) float64 {
 		return e.CompactStats().TotalDuration.Seconds()
 	}))
-	reg.CounterFunc("tir_compaction_dropped_total", "Tombstoned objects physically dropped by compaction.", sum(func(e *temporalir.Engine) float64 {
+	reg.CounterFunc("tir_compaction_dropped_total", "Tombstoned objects physically dropped by compaction.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().TotalDropped)
 	}))
-	reg.CounterFunc("tir_compaction_merged_total", "Memtable objects folded into the base by compaction.", sum(func(e *temporalir.Engine) float64 {
+	reg.CounterFunc("tir_compaction_merged_total", "Memtable objects folded into the base by compaction.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().TotalMerged)
 	}))
-	reg.CounterFunc("tir_compaction_reclaimed_bytes_total", "Estimated bytes reclaimed by compaction.", sum(func(e *temporalir.Engine) float64 {
+	reg.CounterFunc("tir_compaction_reclaimed_bytes_total", "Estimated bytes reclaimed by compaction.", sum(func(e Engine) float64 {
 		return float64(e.CompactStats().ReclaimedBytes)
 	}))
 
@@ -435,6 +452,57 @@ func (s *Server) registerMetrics() {
 	reg.CounterFunc("tir_exec_helpers_total", "Helper goroutines borrowed by fan-outs.", func() float64 {
 		return float64(s.seed.PoolStats().Helpers)
 	})
+
+	// Sharded deployments expose the coordinator and per-shard state.
+	// The label space is the seed's shard count — fixed at construction,
+	// so scrape cardinality is bounded; per-shard gauges sum across
+	// tenants (every tenant shares the seed's layout).
+	if seedSh, ok := s.seed.(shardedEngine); ok {
+		sumSh := func(read func(se shardedEngine) float64) func() float64 {
+			return func() float64 {
+				var total float64
+				s.reg.Each(func(tn *tenant.Tenant[Engine]) {
+					if se, ok := tn.Engine().(shardedEngine); ok {
+						total += read(se)
+					}
+				})
+				return total
+			}
+		}
+		reg.CounterFunc("tir_shard_queries_total", "Queries planned by the shard coordinator.", sumSh(func(se shardedEngine) float64 {
+			return float64(se.CoordinatorStats().Queries)
+		}))
+		reg.CounterFunc("tir_shard_cut_total", "Shard evaluations cut by the per-shard deadline.", sumSh(func(se shardedEngine) float64 {
+			return float64(se.CoordinatorStats().ShardsCut)
+		}))
+		reg.CounterFunc("tir_shard_pruned_total", "Shard evaluations skipped by extent pruning.", sumSh(func(se shardedEngine) float64 {
+			return float64(se.CoordinatorStats().ShardsPruned)
+		}))
+		for i := 0; i < seedSh.NumShards(); i++ {
+			i := i
+			shardOf := func(read func(st temporalir.ShardStat) float64) func() float64 {
+				return sumSh(func(se shardedEngine) float64 {
+					if st := se.ShardStats(); i < len(st) {
+						return read(st[i])
+					}
+					return 0
+				})
+			}
+			lbl := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+			reg.GaugeFunc("tir_shard_objects", "Live objects, by shard.", shardOf(func(st temporalir.ShardStat) float64 {
+				return float64(st.Objects)
+			}), lbl)
+			reg.GaugeFunc("tir_shard_size_bytes", "Estimated resident size, by shard.", shardOf(func(st temporalir.ShardStat) float64 {
+				return float64(st.SizeBytes)
+			}), lbl)
+			reg.GaugeFunc("tir_shard_tombstones", "Pending logical deletions, by shard.", shardOf(func(st temporalir.ShardStat) float64 {
+				return float64(st.Tombstones)
+			}), lbl)
+			reg.CounterFunc("tir_shard_compactions_total", "Completed compactions, by shard.", shardOf(func(st temporalir.ShardStat) float64 {
+				return float64(st.Compactions)
+			}), lbl)
+		}
+	}
 
 	// Tenancy lifecycle metrics.
 	reg.GaugeFunc("tir_tenants", "Resident tenants.", func() float64 {
@@ -452,14 +520,14 @@ func (s *Server) registerMetrics() {
 	// same method). Non-routed engines register nothing.
 	for i, m := range s.seed.RoutedMethods() {
 		i := i
-		reg.CounterFunc("tir_route_decisions_total", "Adaptive-router decisions, by chosen sub-method.", sum(func(e *temporalir.Engine) float64 {
+		reg.CounterFunc("tir_route_decisions_total", "Adaptive-router decisions, by chosen sub-method.", sum(func(e Engine) float64 {
 			return float64(e.RouteDecisions()[i])
 		}), obs.Label{Key: "method", Value: string(m)})
 	}
 }
 
 // metricsOf returns the tenant's attached series handles.
-func (s *Server) metricsOf(tn *tenant.Tenant[*temporalir.Engine]) *tenantMetrics {
+func (s *Server) metricsOf(tn *tenant.Tenant[Engine]) *tenantMetrics {
 	if tm, ok := tn.Tag().(*tenantMetrics); ok && tm != nil {
 		return tm
 	}
@@ -497,7 +565,7 @@ func (s *Server) tenantID(r *http.Request) (string, error) {
 // resolveTenant resolves and holds the request's tenant, writing the
 // error response itself on failure. On success the caller must call
 // Release on the returned tenant.
-func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant.Tenant[*temporalir.Engine], bool) {
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant.Tenant[Engine], bool) {
 	id, err := s.tenantID(r)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -511,7 +579,7 @@ func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant.
 	if err != nil {
 		if le := tenant.AsLimitError(err); le != nil {
 			s.rejectedMetricsFor(id).reject(le.Reason)
-			tooManyTenants(w, id)
+			s.tooManyTenants(w, id)
 			return nil, false
 		}
 		writeError(w, http.StatusInternalServerError, "tenant %s: %v", id, err)
@@ -524,11 +592,11 @@ func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant.
 // handles, and the release path for every admission layer claimed.
 type grant struct {
 	srv *Server
-	tn  *tenant.Tenant[*temporalir.Engine]
+	tn  *tenant.Tenant[Engine]
 	tm  *tenantMetrics
 }
 
-func (g grant) engine() *temporalir.Engine { return g.tn.Engine() }
+func (g grant) engine() Engine { return g.tn.Engine() }
 
 func (g grant) release() {
 	if g.srv.fair != nil {
@@ -569,7 +637,7 @@ func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request) (grant, bool
 	}
 	if s.gate != nil && !s.gate.TryAcquire() {
 		s.admRejected.Inc()
-		overloaded(w)
+		s.overloaded(w)
 		tn.Limiter().ReleaseQuery()
 		tn.Release()
 		return grant{}, false
@@ -589,29 +657,93 @@ func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request) (grant, bool
 	return g, true
 }
 
-// overloaded answers a request rejected by the global gate.
-func overloaded(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, "server overloaded; retry shortly")
+// Retry hints. The Retry-After header stays a whole-second ceiling
+// (never below 1 — HTTP clients treat the value as seconds and many
+// floor fractional parsing to zero, i.e. hammer immediately), while the
+// JSON body carries the real, load-derived wait in retry_after_ms so
+// programmatic clients can back off proportionally instead of
+// sleeping a full second against a gate that drains in milliseconds.
+const (
+	minRetryHint = 25 * time.Millisecond
+	maxRetryHint = time.Second
+)
+
+// clampRetryHint bounds a derived hint to [minRetryHint, maxRetryHint].
+func clampRetryHint(d time.Duration) time.Duration {
+	if d < minRetryHint {
+		return minRetryHint
+	}
+	if d > maxRetryHint {
+		return maxRetryHint
+	}
+	return d
 }
 
-// tooMany answers a request rejected by a per-tenant limit: 429 with a
-// Retry-After hint (the token-bucket wait, or 1s for structural limits
-// that clear when usage drops).
-func tooMany(w http.ResponseWriter, le *tenant.LimitError) {
-	secs := int((le.RetryAfter + time.Second - 1) / time.Second)
+// retryHeaderSecs renders a hint as the whole-second Retry-After value.
+func retryHeaderSecs(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, http.StatusTooManyRequests, "%v", le)
+	return strconv.Itoa(secs)
+}
+
+// writeRetryError answers a rejection with both hint forms.
+func writeRetryError(w http.ResponseWriter, status int, retry time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", retryHeaderSecs(retry))
+	writeJSON(w, status, map[string]any{
+		"error":          fmt.Sprintf(format, args...),
+		"retry_after_ms": retry.Milliseconds(),
+	})
+}
+
+// overloadRetryHint derives the 503 hint from in-flight pressure: the
+// gate is full with Capacity() queries in service, each bounded by the
+// query timeout, so the expected time until a slot frees is about one
+// per-query budget divided by the number of slots draining in parallel.
+// A wide gate on an idle-ish node hints a few tens of milliseconds; a
+// narrow gate under a long timeout hints closer to the full second.
+func (s *Server) overloadRetryHint() time.Duration {
+	budget := s.queryTimeout
+	if budget <= 0 {
+		budget = DefaultQueryTimeout
+	}
+	slots := 1
+	if s.gate != nil && s.gate.Capacity() > 0 {
+		slots = s.gate.Capacity()
+	}
+	return clampRetryHint(budget / time.Duration(slots))
+}
+
+// overloaded answers a request rejected by the global gate.
+func (s *Server) overloaded(w http.ResponseWriter) {
+	writeRetryError(w, http.StatusServiceUnavailable, s.overloadRetryHint(),
+		"server overloaded; retry shortly")
+}
+
+// tooMany answers a request rejected by a per-tenant limit: 429 with
+// the limiter's own wait when it has one (the token-bucket refill time,
+// millisecond precision in the body), or the structural-limit hint —
+// these clear when the tenant's own usage drops, which the tenant
+// controls, so the floor is the minimum hint rather than a full second.
+func tooMany(w http.ResponseWriter, le *tenant.LimitError) {
+	retry := le.RetryAfter
+	if retry <= 0 {
+		retry = minRetryHint
+	}
+	writeRetryError(w, http.StatusTooManyRequests, clampRetryHint(retry), "%v", le)
 }
 
 // tooManyTenants answers a request whose tenant could not be admitted
-// to the registry at all.
-func tooManyTenants(w http.ResponseWriter, id string) {
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusTooManyRequests, "tenant %s: registry full; retry shortly", id)
+// to the registry at all. With a spill directory the slot frees as soon
+// as a cold tenant is evicted — a short hint; without one, residency
+// only shrinks when some tenant is torn down, so the hint is the cap.
+func (s *Server) tooManyTenants(w http.ResponseWriter, id string) {
+	retry := maxRetryHint
+	if s.spillEnabled {
+		retry = 4 * minRetryHint
+	}
+	writeRetryError(w, http.StatusTooManyRequests, retry, "tenant %s: registry full; retry shortly", id)
 }
 
 // queryCtx derives the per-request evaluation context, carrying the
@@ -632,6 +764,59 @@ func (s *Server) searchFailure(w http.ResponseWriter, err error) {
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "query aborted: %v", err)
+}
+
+// Partial-result plumbing. A sharded engine answers through the
+// *ShardsCtx variants, whose ShardReport makes truncation explicit;
+// a single-store engine reports a zero (complete) ShardReport. The
+// response contract: a 200 either carries every planned shard's
+// contribution or says which shards were cut ("partial": true,
+// "shards_cut": [...]); when EVERY planned shard was cut there is no
+// result to stand behind at all, and the request answers 504 like any
+// other deadline death — never an empty 200.
+
+// searchIDs evaluates one conjunctive search on either engine kind.
+func searchIDs(ctx context.Context, eng Engine, start, end temporalir.Timestamp, terms []string) ([]temporalir.ObjectID, temporalir.ShardReport, error) {
+	if se, ok := eng.(shardedEngine); ok {
+		return se.SearchShardsCtx(ctx, start, end, terms...)
+	}
+	ids, err := eng.SearchCtx(ctx, start, end, terms...)
+	return ids, temporalir.ShardReport{}, err
+}
+
+// searchTopK evaluates one ranked search on either engine kind.
+func searchTopK(ctx context.Context, eng Engine, start, end temporalir.Timestamp, k int, terms []string) ([]temporalir.ScoredResult, temporalir.ShardReport, error) {
+	if se, ok := eng.(shardedEngine); ok {
+		return se.SearchTopKShardsCtx(ctx, start, end, k, terms...)
+	}
+	res, err := eng.SearchTopKCtx(ctx, start, end, k, terms...)
+	return res, temporalir.ShardReport{}, err
+}
+
+// searchTimeline evaluates one timeline on either engine kind.
+func searchTimeline(ctx context.Context, eng Engine, start, end temporalir.Timestamp, buckets int, terms []string) ([]temporalir.TimelineBucket, temporalir.ShardReport, error) {
+	if se, ok := eng.(shardedEngine); ok {
+		return se.TimelineShardsCtx(ctx, start, end, buckets, terms...)
+	}
+	tl, err := eng.TimelineCtx(ctx, start, end, buckets, terms...)
+	return tl, temporalir.ShardReport{}, err
+}
+
+// shardCutFailure writes the 504 for an all-shards-cut report and
+// reports whether it did; otherwise it annotates the response body with
+// the partial-result fields when any shard was cut.
+func (s *Server) shardCutFailure(w http.ResponseWriter, rep temporalir.ShardReport, body map[string]any) bool {
+	if !rep.Partial() {
+		return false
+	}
+	if len(rep.Cut) == rep.Planned {
+		s.admTimeout.Inc()
+		writeError(w, http.StatusGatewayTimeout, "all %d planned shards exceeded the shard deadline", rep.Planned)
+		return true
+	}
+	body["partial"] = true
+	body["shards_cut"] = rep.Cut
+	return false
 }
 
 // finishQuery records one served query twice — into the global
@@ -732,15 +917,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var hits []searchHit
+	body := map[string]any{}
 	if k > 0 {
 		tr := s.obs.StartTrace("search_topk")
 		tr.SetTenant(g.tn.ID())
 		tr.SetShape(fmt.Sprintf("terms=%d k=%d", len(terms), k))
 		t0 := time.Now()
-		res, err := g.engine().SearchTopKCtx(obs.ContextWithTrace(ctx, tr), start, end, k, terms...)
+		res, rep, err := searchTopK(obs.ContextWithTrace(ctx, tr), g.engine(), start, end, k, terms)
 		s.finishQuery(s.metTopK, g.tm.topk, tr, t0)
 		if err != nil {
 			s.searchFailure(w, err)
+			return
+		}
+		if s.shardCutFailure(w, rep, body) {
 			return
 		}
 		for _, r := range res {
@@ -752,17 +941,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		tr.SetTenant(g.tn.ID())
 		tr.SetShape(fmt.Sprintf("terms=%d", len(terms)))
 		t0 := time.Now()
-		ids, err := g.engine().SearchCtx(obs.ContextWithTrace(ctx, tr), start, end, terms...)
+		ids, rep, err := searchIDs(obs.ContextWithTrace(ctx, tr), g.engine(), start, end, terms)
 		s.finishQuery(s.metSearch, g.tm.search, tr, t0)
 		if err != nil {
 			s.searchFailure(w, err)
+			return
+		}
+		if s.shardCutFailure(w, rep, body) {
 			return
 		}
 		for _, id := range ids {
 			hits = append(hits, searchHit{ID: id})
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(hits), "hits": hits})
+	body["count"] = len(hits)
+	body["hits"] = hits
+	writeJSON(w, http.StatusOK, body)
 }
 
 // batchRequest is the wire form of POST /search/batch: one interval of
@@ -775,10 +969,13 @@ type batchRequest struct {
 }
 
 // batchRow is one row of the batch response; rows line up with the
-// request's queries.
+// request's queries. A row whose evaluation lost shards to the
+// per-shard deadline reports them in shards_cut rather than passing a
+// truncated hit list off as complete.
 type batchRow struct {
-	Hits  []temporalir.ObjectID `json:"hits"`
-	Error string                `json:"error,omitempty"`
+	Hits      []temporalir.ObjectID `json:"hits"`
+	Error     string                `json:"error,omitempty"`
+	ShardsCut []int                 `json:"shards_cut,omitempty"`
 }
 
 // handleSearchBatch answers POST /search/batch. The whole batch holds
@@ -824,18 +1021,37 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	s.finishQuery(s.metBatch, g.tm.batch, tr, t0)
 	rows := make([]batchRow, len(results))
 	timedOut := false
+	completed := 0
 	for i, res := range results {
 		if res.Err != nil {
-			rows[i] = batchRow{Error: res.Err.Error()}
+			row := batchRow{Error: res.Err.Error()}
+			// A sharded row that lost shards to the per-shard deadline
+			// names them; the row is an error row, never a short 200 row.
+			if pe, ok := temporalir.AsPartialError(res.Err); ok {
+				row.ShardsCut = pe.Report.Cut
+			}
+			rows[i] = row
 			timedOut = timedOut || errors.Is(res.Err, context.DeadlineExceeded)
 			continue
 		}
+		completed++
 		rows[i] = batchRow{Hits: res.IDs}
 	}
 	if timedOut {
 		s.admTimeout.Inc()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "results": rows})
+	// A batch where not a single row completed has nothing to stand
+	// behind: that is the whole request dying to its deadline, and it
+	// answers like one — 504, not a 200 full of error rows.
+	if completed == 0 && timedOut {
+		writeError(w, http.StatusGatewayTimeout, "no batch row completed before the deadline")
+		return
+	}
+	body := map[string]any{"count": len(rows), "results": rows}
+	if completed < len(rows) {
+		body["partial"] = true
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleInsert answers POST /objects with an objectJSON body (id
@@ -951,13 +1167,18 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	tr.SetTenant(g.tn.ID())
 	tr.SetShape(fmt.Sprintf("terms=%d buckets=%d", len(terms), buckets))
 	t0 := time.Now()
-	tl, err := g.engine().TimelineCtx(obs.ContextWithTrace(ctx, tr), start, end, buckets, terms...)
+	tl, rep, err := searchTimeline(obs.ContextWithTrace(ctx, tr), g.engine(), start, end, buckets, terms)
 	s.finishQuery(s.metTimeline, g.tm.timeline, tr, t0)
 	if err != nil {
 		s.searchFailure(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"buckets": tl})
+	body := map[string]any{}
+	if s.shardCutFailure(w, rep, body) {
+		return
+	}
+	body["buckets"] = tl
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleStats answers GET /stats for the request's tenant, including
@@ -984,6 +1205,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.fair != nil {
 		out["fair_share"] = s.fair.Share(tn.ID(), tn.Limiter().Limits().EffectiveWeight(), time.Now())
 	}
+	if se, ok := eng.(shardedEngine); ok {
+		out["shards"] = se.ShardStats()
+		out["coordinator"] = se.CoordinatorStats()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -1000,7 +1225,7 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 		Weight     int    `json:"weight"`
 	}
 	var rows []row
-	s.reg.Each(func(tn *tenant.Tenant[*temporalir.Engine]) {
+	s.reg.Each(func(tn *tenant.Tenant[Engine]) {
 		eng := tn.Engine()
 		st := eng.CompactStats()
 		rows = append(rows, row{

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/model"
+	"repro/internal/rank"
+)
+
+func TestMergeAscendingAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + rng.Intn(6)
+		used := map[model.ObjectID]bool{}
+		lists := make([][]model.ObjectID, nLists)
+		var all []model.ObjectID
+		for i := range lists {
+			n := rng.Intn(20)
+			for j := 0; j < n; j++ {
+				id := model.ObjectID(rng.Intn(500))
+				if used[id] {
+					continue // shard lists are disjoint
+				}
+				used[id] = true
+				lists[i] = append(lists[i], id)
+				all = append(all, id)
+			}
+			sort.Slice(lists[i], func(a, b int) bool { return lists[i][a] < lists[i][b] })
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		got := MergeAscending(lists)
+		if len(all) == 0 {
+			if got != nil {
+				t.Fatalf("trial %d: want nil for empty merge, got %v", trial, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, all) {
+			t.Fatalf("trial %d: merge mismatch\n got %v\nwant %v", trial, got, all)
+		}
+	}
+}
+
+func TestMergeTopKAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rankLess := func(a, b rank.Result) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.ID < b.ID
+	}
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(10)
+		lists := make([][]rank.Result, nLists)
+		var all []rank.Result
+		id := model.ObjectID(0)
+		for i := range lists {
+			n := rng.Intn(15)
+			for j := 0; j < n; j++ {
+				// Coarse scores force score ties across shards.
+				r := rank.Result{ID: id, Score: float64(rng.Intn(4))}
+				id++
+				lists[i] = append(lists[i], r)
+				all = append(all, r)
+			}
+			sort.SliceStable(lists[i], func(a, b int) bool { return rankLess(lists[i][a], lists[i][b]) })
+			// A shard only reports its local top k.
+			if len(lists[i]) > k {
+				lists[i] = lists[i][:k]
+			}
+		}
+		sort.SliceStable(all, func(a, b int) bool { return rankLess(all[a], all[b]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := MergeTopK(lists, k)
+		if len(want) == 0 {
+			if got != nil {
+				t.Fatalf("trial %d: want nil, got %v", trial, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): top-k merge mismatch\n got %v\nwant %v", trial, k, got, want)
+		}
+	}
+	if MergeTopK([][]rank.Result{{{ID: 1, Score: 1}}}, 0) != nil {
+		t.Fatal("k=0 must merge to nil")
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	q := model.Query{Interval: model.NewInterval(0, 99)}
+	layout := aggregate.Layout(q, 4)
+	a := append([]aggregate.Bucket(nil), layout...)
+	b := append([]aggregate.Bucket(nil), layout...)
+	for i := range a {
+		a[i].Count, a[i].Mass = i, int64(10*i)
+		b[i].Count, b[i].Mass = 1, 5
+	}
+	got := MergeHistograms([][]aggregate.Bucket{a, nil, b})
+	if len(got) != 4 {
+		t.Fatalf("merged %d buckets, want 4", len(got))
+	}
+	for i := range got {
+		if got[i].Span != layout[i].Span {
+			t.Fatalf("bucket %d span changed: %v vs %v", i, got[i].Span, layout[i].Span)
+		}
+		if got[i].Count != i+1 || got[i].Mass != int64(10*i)+5 {
+			t.Fatalf("bucket %d sum wrong: count %d mass %d", i, got[i].Count, got[i].Mass)
+		}
+	}
+	if MergeHistograms([][]aggregate.Bucket{nil, nil}) != nil {
+		t.Fatal("all-nil merge must stay nil")
+	}
+}

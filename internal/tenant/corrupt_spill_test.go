@@ -1,0 +1,172 @@
+package tenant
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	temporalir "repro"
+)
+
+// TestCorruptSpillSurfacesError covers the reload half of the spill
+// lifecycle when the file on disk has rotted: Get must return the
+// loader's error wrapped with tenant context, the failed slot must not
+// wedge (a later Get retries from scratch and succeeds once the file is
+// repaired), and a healthy resident tenant must keep serving without
+// being evicted as collateral.
+func TestCorruptSpillSurfacesError(t *testing.T) {
+	cfg := testConfig(t, true)
+	// A loader with an actual validity check: every record must carry
+	// the "ok:" frame. loadFake alone accepts any text, which would let
+	// corruption slide through as data.
+	cfg.Load = func(id string, r io.Reader) (*fakeEngine, error) {
+		e, err := loadFake(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range e.rows {
+			if !strings.HasPrefix(row, "ok:") {
+				return nil, fmt.Errorf("bad record %q", row)
+			}
+		}
+		return e, nil
+	}
+	r := NewRegistry(cfg)
+
+	v := mustGet(t, r, "victim")
+	v.Engine().Add("ok:v1")
+	v.Engine().Add("ok:v2")
+	v.Release()
+	h := mustGet(t, r, "healthy")
+	h.Engine().Add("ok:h1")
+	h.Release()
+
+	if err := r.Evict("victim"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	path := filepath.Join(cfg.SpillDir, "victim.tir")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading spill: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("\x00garbage junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent Gets on the corrupt tenant: every caller must see the
+	// wrapped loader error; none may hang on a dead placeholder.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Get("victim")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("Get %d: corrupt spill loaded without error", i)
+		}
+		if !strings.Contains(err.Error(), "reloading spill") || !strings.Contains(err.Error(), "victim") {
+			t.Fatalf("Get %d: error %q lacks spill/tenant context", i, err)
+		}
+	}
+
+	// The healthy tenant was never in danger: still resident, data
+	// intact, and the failed reloads evicted nobody.
+	if _, ok := r.Peek("healthy"); !ok {
+		t.Fatal("healthy tenant lost residency during victim's reload failures")
+	}
+	h = mustGet(t, r, "healthy")
+	if rows := h.Engine().Rows(); len(rows) != 1 || rows[0] != "ok:h1" {
+		t.Fatalf("healthy tenant rows = %v", rows)
+	}
+	h.Release()
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (healthy only)", r.Len())
+	}
+
+	// The slot is not wedged: repairing the file makes the next Get
+	// succeed with the original data.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v = mustGet(t, r, "victim")
+	if rows := v.Engine().Rows(); len(rows) != 2 || rows[0] != "ok:v1" || rows[1] != "ok:v2" {
+		t.Fatalf("repaired reload rows = %v", rows)
+	}
+	v.Release()
+}
+
+// TestCorruptSpillRealEngine runs the same scenario through the real
+// snapshot codec: truncations and header corruption of a .tir file must
+// surface as reload errors, and restoring the original bytes must bring
+// the tenant back with its objects.
+func TestCorruptSpillRealEngine(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config[*temporalir.Engine]{
+		New: func(id string) (*temporalir.Engine, error) {
+			return temporalir.NewBuilder().Build(temporalir.TIF, temporalir.Options{})
+		},
+		Load: func(id string, r io.Reader) (*temporalir.Engine, error) {
+			return temporalir.LoadEngine(r, temporalir.TIF, temporalir.Options{})
+		},
+		SpillDir: dir,
+	}
+	r := NewRegistry(cfg)
+
+	v, err := r.Get("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		v.Engine().Insert(temporalir.Timestamp(i*10), temporalir.Timestamp(i*10+25), fmt.Sprintf("t%02d", i%7))
+	}
+	v.Release()
+	if err := r.Evict("v"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+
+	path := filepath.Join(dir, "v.tir")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string][]byte{
+		"empty":          {},
+		"half-truncated": good[:len(good)/2],
+		"tail-cut":       good[:len(good)-1],
+		"bad-magic":      append([]byte("XXXX"), good[4:]...),
+	}
+	for name, data := range mutations {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Get("v"); err == nil {
+			t.Fatalf("%s spill loaded without error", name)
+		} else if !strings.Contains(err.Error(), "reloading spill") {
+			t.Fatalf("%s spill: error %q not a reload error", name, err)
+		}
+	}
+
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err = r.Get("v")
+	if err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+	if v.Engine().Len() != 40 {
+		t.Fatalf("restored Len = %d, want 40", v.Engine().Len())
+	}
+	if ids := v.Engine().Search(0, 1000); len(ids) != 40 {
+		t.Fatalf("restored search hit %d objects, want 40", len(ids))
+	}
+	v.Release()
+}

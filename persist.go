@@ -22,6 +22,10 @@ import (
 // continue the same id sequence — an engine that is saved, dropped and
 // reloaded is indistinguishable to clients. Version 1 snapshots (which
 // re-assigned dense ids on load) are still accepted.
+//
+// The format is shared by Engine and Sharded: a sharded save merges its
+// shards' live objects back into global insertion order, so either
+// engine kind can load the other's snapshot.
 
 var engineMagic = [4]byte{'T', 'I', 'R', 'E'}
 
@@ -29,6 +33,22 @@ const (
 	engineVersion   = 2
 	engineVersionV1 = 1
 )
+
+// maxLoadPrealloc caps slice preallocations driven by unvalidated
+// snapshot varints. A corrupt or adversarial header can claim any
+// count; allocations grow incrementally past this bound instead, so a
+// bad byte costs at most one modest slice before decoding fails. The
+// spill/reload path feeds operator-controlled files into LoadEngine,
+// which makes this load-bearing, not defensive polish.
+const maxLoadPrealloc = 1 << 16
+
+// cappedCap bounds a claimed element count to the preallocation cap.
+func cappedCap(claimed uint64) int {
+	if claimed > maxLoadPrealloc {
+		return maxLoadPrealloc
+	}
+	return int(claimed)
+}
 
 // Save writes the engine's live objects, dictionary and id-identity
 // section. The index itself is not serialized — it is rebuilt on load,
@@ -45,6 +65,29 @@ func (e *Engine) Save(w io.Writer) error {
 	terms := e.dict.TermsSnapshot()
 	e.dmu.RUnlock()
 
+	coll := g.Coll()
+	live := &Collection{DictSize: coll.DictSize}
+	ext := make([]ObjectID, 0, len(coll.Objects))
+	for i := range coll.Objects {
+		if g.Tombstoned(ObjectID(i)) {
+			continue
+		}
+		o := &coll.Objects[i]
+		ext = append(ext, g.ExternalID(ObjectID(i)))
+		live.Objects = append(live.Objects, Object{
+			ID:       ObjectID(len(live.Objects)),
+			Interval: o.Interval,
+			Elems:    o.Elems,
+		})
+	}
+	return writeSnapshot(w, terms, live, ext, g.NextExt())
+}
+
+// writeSnapshot serializes one snapshot: dictionary terms, the live
+// collection (dense ids, insertion order) and its parallel external-id
+// table, then the next-id counter. Both Engine.Save and Sharded.Save
+// reduce to this, which is what keeps the two formats identical.
+func writeSnapshot(w io.Writer, terms []string, live *Collection, ext []ObjectID, next ObjectID) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(engineMagic[:]); err != nil {
 		return err
@@ -69,21 +112,6 @@ func (e *Engine) Save(w io.Writer) error {
 			return err
 		}
 	}
-	coll := g.Coll()
-	live := &Collection{DictSize: coll.DictSize}
-	ext := make([]ObjectID, 0, len(coll.Objects))
-	for i := range coll.Objects {
-		if g.Tombstoned(ObjectID(i)) {
-			continue
-		}
-		o := &coll.Objects[i]
-		ext = append(ext, g.ExternalID(ObjectID(i)))
-		live.Objects = append(live.Objects, Object{
-			ID:       ObjectID(len(live.Objects)),
-			Interval: o.Interval,
-			Elems:    o.Elems,
-		})
-	}
 	if err := encoding.Write(bw, live); err != nil {
 		return err
 	}
@@ -102,7 +130,7 @@ func (e *Engine) Save(w io.Writer) error {
 			return err
 		}
 	}
-	if err := putUvarint(uint64(g.NextExt())); err != nil {
+	if err := putUvarint(uint64(next)); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -112,59 +140,78 @@ func (e *Engine) Save(w io.Writer) error {
 // index over it. Version-2 snapshots restore the saved external-id
 // assignment; version-1 snapshots fall back to dense identity ids.
 func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("temporalir: reading engine magic: %w", err)
-	}
-	if magic != engineMagic {
-		return nil, errors.New("temporalir: not an engine snapshot")
-	}
-	ver, err := br.ReadByte()
+	d, coll, ext, next, err := decodeSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
+	if ext == nil {
+		return newEngine(d, coll, m, opts)
+	}
+	return newEngineWithIdentity(d, coll, m, opts, ext, next)
+}
+
+// decodeSnapshot reads and validates a TIRE snapshot: the dictionary,
+// the collection restored to insertion order (dense ids), and — for
+// version 2 — the strictly ascending external-id table plus next-id
+// counter (ext is nil for version 1). All counts are bounds-checked
+// before driving allocations.
+func decodeSnapshot(r io.Reader) (*dict.Dictionary, *Collection, []ObjectID, ObjectID, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: reading engine magic: %w", err)
+	}
+	if magic != engineMagic {
+		return nil, nil, nil, 0, errors.New("temporalir: not an engine snapshot")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
 	if ver != engineVersion && ver != engineVersionV1 {
-		return nil, fmt.Errorf("temporalir: unsupported snapshot version %d", ver)
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: unsupported snapshot version %d", ver)
 	}
 	nTerms, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("temporalir: term count: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: term count: %w", err)
 	}
 	const maxTermLen = 1 << 16
-	terms := make([]string, 0, nTerms)
+	// The claimed count is unvalidated input: cap the preallocation and
+	// let append grow past it, so a corrupt header cannot commit a
+	// multi-GB allocation before the first term even decodes.
+	terms := make([]string, 0, cappedCap(nTerms))
 	for i := uint64(0); i < nTerms; i++ {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("temporalir: term %d length: %w", i, err)
+			return nil, nil, nil, 0, fmt.Errorf("temporalir: term %d length: %w", i, err)
 		}
 		if l > maxTermLen {
-			return nil, fmt.Errorf("temporalir: term %d implausibly long (%d)", i, l)
+			return nil, nil, nil, 0, fmt.Errorf("temporalir: term %d implausibly long (%d)", i, l)
 		}
 		raw := make([]byte, l)
 		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, fmt.Errorf("temporalir: term %d: %w", i, err)
+			return nil, nil, nil, 0, fmt.Errorf("temporalir: term %d: %w", i, err)
 		}
 		terms = append(terms, string(raw))
 	}
 	coll, err := encoding.Read(br)
 	if err != nil {
-		return nil, fmt.Errorf("temporalir: collection: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: collection: %w", err)
 	}
 	d := dict.FromTerms(terms)
 	if d.Len() < coll.DictSize {
-		return nil, fmt.Errorf("temporalir: dictionary (%d terms) smaller than collection element space (%d)",
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: dictionary (%d terms) smaller than collection element space (%d)",
 			d.Len(), coll.DictSize)
 	}
 	for i := range coll.Objects {
 		d.AddElems(coll.Objects[i].Elems)
 	}
 	if ver == engineVersionV1 {
-		return newEngine(d, coll, m, opts)
+		return d, coll, nil, 0, nil
 	}
 	ext, next, err := readIdentity(br, len(coll.Objects))
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, 0, err
 	}
 	// Restore the original internal order. The collection was written
 	// start-sorted; re-sorting by external id (strictly ascending in the
@@ -183,14 +230,14 @@ func LoadEngine(r io.Reader, m Method, opts Options) (*Engine, error) {
 		objs[i] = o
 		sorted[i] = ext[oi]
 		if i > 0 && sorted[i] <= sorted[i-1] {
-			return nil, fmt.Errorf("temporalir: duplicate external id %d in identity table", sorted[i])
+			return nil, nil, nil, 0, fmt.Errorf("temporalir: duplicate external id %d in identity table", sorted[i])
 		}
 	}
 	if n := len(sorted); n > 0 && sorted[n-1] >= next {
-		return nil, fmt.Errorf("temporalir: next id %d not past last external id %d", next, sorted[n-1])
+		return nil, nil, nil, 0, fmt.Errorf("temporalir: next id %d not past last external id %d", next, sorted[n-1])
 	}
 	coll.Objects = objs
-	return newEngineWithIdentity(d, coll, m, opts, sorted, next)
+	return d, coll, sorted, next, nil
 }
 
 // readIdentity decodes the version-2 identity section: one external id

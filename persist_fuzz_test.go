@@ -1,0 +1,76 @@
+package temporalir_test
+
+import (
+	"bytes"
+	"testing"
+
+	temporalir "repro"
+	"repro/internal/testutil"
+)
+
+// FuzzLoadEngine throws corrupt snapshots at the loader. The tenant
+// spill/reload path feeds operator-controlled files into LoadEngine, so
+// the loader must treat every byte as hostile: any input may be
+// rejected, but none may panic, and a flipped count in a header must
+// not commit an allocation the file's actual size cannot justify.
+func FuzzLoadEngine(f *testing.F) {
+	// Seed with a real snapshot (engine save), a sharded save of the
+	// same corpus, and a few degenerate prefixes.
+	c := testutil.RandomCollection(testutil.CollectionConfig{
+		N: 60, DomainLo: 0, DomainHi: 900, Dict: 12, MaxDesc: 4, Seed: 31,
+	})
+	b := temporalir.NewBuilder()
+	for i := range c.Objects {
+		o := &c.Objects[i]
+		b.Add(o.Interval.Start, o.Interval.End, termsFor(o.Elems)...)
+	}
+	eng, err := b.Build(temporalir.TIF, temporalir.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+
+	sh, err := b.BuildSharded(temporalir.TIF, temporalir.Options{}, temporalir.ShardedOptions{Shards: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := sh.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+
+	f.Add([]byte{})
+	f.Add([]byte("TIRE"))
+	f.Add(append([]byte("TIRE"), 2))
+	// Version-2 header claiming a colossal term count with no terms.
+	f.Add(append(append([]byte("TIRE"), 2), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := temporalir.LoadEngine(bytes.NewReader(data), temporalir.TIF, temporalir.Options{})
+		if err != nil {
+			// Rejected input must also reject sharded, and vice versa —
+			// the two loaders share one decoder.
+			if _, err2 := temporalir.LoadSharded(bytes.NewReader(data), temporalir.TIF, temporalir.Options{}, temporalir.ShardedOptions{Shards: 2}); err2 == nil {
+				t.Fatalf("LoadEngine rejected (%v) but LoadSharded accepted", err)
+			}
+			return
+		}
+		// Accepted input must yield a usable engine: a save/reload
+		// round-trip and a basic query must not panic.
+		var out bytes.Buffer
+		if err := eng.Save(&out); err != nil {
+			t.Fatalf("re-saving accepted snapshot: %v", err)
+		}
+		if _, err := temporalir.LoadEngine(bytes.NewReader(out.Bytes()), temporalir.TIF, temporalir.Options{}); err != nil {
+			t.Fatalf("round-tripping accepted snapshot: %v", err)
+		}
+		_ = eng.Search(0, 1000)
+	})
+}

@@ -1,0 +1,75 @@
+package temporalir
+
+import (
+	"io"
+	"sort"
+)
+
+// Sharded persistence: a sharded engine saves the same TIRE snapshot a
+// single engine does — its shards' live objects merged back into global
+// insertion order with their stable ids — so Engine and Sharded
+// snapshots are interchangeable: either kind loads the other's file,
+// and the tenant spill/reload path needs no shard awareness.
+
+// Save writes the merged snapshot of every shard. Each shard
+// contributes one atomic generation snapshot; the merge orders live
+// objects by their global external id (insertion order) and the shared
+// allocator supplies the next-id counter, so a reload (sharded or not)
+// reproduces the exact id sequence. Shard snapshots are taken one
+// atomic load apiece — a save racing concurrent writes lands between
+// two inserts, never inside one shard's generation.
+func (s *Sharded) Save(w io.Writer) error {
+	s.dmu.RLock()
+	terms := s.dict.TermsSnapshot()
+	s.dmu.RUnlock()
+
+	type liveObj struct {
+		ext ObjectID
+		obj Object
+	}
+	var all []liveObj
+	for i := range s.stores {
+		g := s.snapshotOne(i)
+		coll := g.Coll()
+		for j := range coll.Objects {
+			if g.Tombstoned(ObjectID(j)) {
+				continue
+			}
+			all = append(all, liveObj{ext: g.ExternalID(ObjectID(j)), obj: coll.Objects[j]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].ext < all[b].ext })
+
+	live := &Collection{DictSize: s.dictSize()}
+	ext := make([]ObjectID, 0, len(all))
+	for _, lo := range all {
+		o := lo.obj
+		o.ID = ObjectID(len(live.Objects))
+		live.Objects = append(live.Objects, o)
+		ext = append(ext, lo.ext)
+	}
+	return writeSnapshot(w, terms, live, ext, s.alloc.Next())
+}
+
+// dictSize returns the shared dictionary's current element-space size.
+func (s *Sharded) dictSize() int {
+	s.dmu.RLock()
+	defer s.dmu.RUnlock()
+	return s.dict.Len()
+}
+
+// LoadSharded reads a snapshot written by Engine.Save or Sharded.Save
+// and re-partitions it across so's shard layout, restoring the saved
+// external-id assignment (version 2) or dense identity ids (version 1).
+// With PartitionTimeRange and zero Bounds the domain derives from the
+// loaded data, matching what BuildSharded would have chosen.
+func LoadSharded(r io.Reader, m Method, opts Options, so ShardedOptions) (*Sharded, error) {
+	d, coll, ext, next, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if ext == nil {
+		return buildSharded(d, coll, m, opts, so, nil, 0)
+	}
+	return buildSharded(d, coll, m, opts, so, ext, next)
+}
